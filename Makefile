@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test race bench vet fmt experiments experiments-quick examples clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table and figure of the paper (minutes).
+experiments:
+	$(GO) run ./cmd/cecibench -exp all
+
+experiments-quick:
+	$(GO) run ./cmd/cecibench -exp all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/protein
+	$(GO) run ./examples/workloadlab
+	$(GO) run ./examples/fraud
+	$(GO) run ./examples/distributed
+
+clean:
+	$(GO) clean ./...

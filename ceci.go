@@ -1,0 +1,356 @@
+// Package ceci is a Go implementation of CECI — the Compact Embedding
+// Cluster Index for scalable subgraph matching (Bhattarai, Liu, Huang;
+// SIGMOD 2019).
+//
+// Given a labeled query graph and a (much larger) labeled data graph,
+// CECI enumerates every subgraph of the data graph isomorphic to the
+// query. It decomposes the data graph into embedding clusters — one per
+// candidate of the root query vertex — indexes tree-edge and non-tree-
+// edge candidates with BFS filtering and reverse-BFS refinement, and
+// enumerates embeddings in parallel purely by sorted-set intersection,
+// with cardinality-driven workload balancing across workers.
+//
+// # Quick start
+//
+//	data, err := ceci.LoadGraphFile("data.lg")
+//	query, err := ceci.LoadGraphFile("query.lg")
+//	m, err := ceci.Match(data, query, nil)
+//	n := m.Count() // all embeddings, all cores
+//
+// See the examples directory for labeled matching, workload-strategy
+// exploration, and the simulated distributed deployment.
+package ceci
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"ceci/internal/auto"
+	icec "ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/stats"
+	"ceci/internal/workload"
+)
+
+// Core graph types, aliased from the internal substrate so they can be
+// used directly by importers of this package.
+type (
+	// Graph is an immutable undirected labeled graph in CSR form.
+	Graph = graph.Graph
+	// Builder accumulates vertices and edges and produces a Graph.
+	Builder = graph.Builder
+	// VertexID identifies a vertex: dense uint32 in [0, NumVertices).
+	VertexID = graph.VertexID
+	// Label is a vertex label drawn from a dense alphabet.
+	Label = graph.Label
+	// Stats carries instrumentation counters across a run.
+	Stats = stats.Counters
+)
+
+// Strategy selects how embedding clusters are distributed across workers
+// (Sections 4.2–4.3 of the paper).
+type Strategy int
+
+const (
+	// StrategyFine decomposes extreme clusters before dynamic pulling
+	// (FGD) — the paper's best performer and this package's default.
+	StrategyFine Strategy = iota
+	// StrategyStatic assigns an equal number of clusters per worker (ST).
+	StrategyStatic
+	// StrategyCoarse lets idle workers pull whole clusters (CGD).
+	StrategyCoarse
+)
+
+func (s Strategy) internal() workload.Strategy {
+	switch s {
+	case StrategyStatic:
+		return workload.ST
+	case StrategyCoarse:
+		return workload.CGD
+	default:
+		return workload.FGD
+	}
+}
+
+func (s Strategy) String() string { return s.internal().String() }
+
+// OrderHeuristic selects the matching-order heuristic.
+type OrderHeuristic = order.Heuristic
+
+// Matching-order heuristics (Section 2.2).
+const (
+	OrderBFS           = order.BFSOrder
+	OrderLeastFrequent = order.LeastFrequent
+	OrderPathRanked    = order.PathRanked
+	OrderEdgeRanked    = order.EdgeRanked
+)
+
+// NewBuilder returns a Builder pre-sized for n vertices (labels 0).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// LoadGraph reads an unlabeled edge list ("u v" per line, # comments).
+func LoadGraph(r io.Reader) (*Graph, error) { return graph.LoadEdgeList(r) }
+
+// LoadLabeledGraph reads the "t/v/e" labeled-graph format.
+func LoadLabeledGraph(r io.Reader) (*Graph, error) { return graph.LoadLabeled(r) }
+
+// LoadGraphFile loads a graph from disk, dispatching on extension
+// (".lg" labeled, otherwise edge list).
+func LoadGraphFile(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// WriteLabeledGraph writes g in the "t/v/e" format.
+func WriteLabeledGraph(w io.Writer, g *Graph) error { return graph.WriteLabeled(w, g) }
+
+// Options tunes matching. The zero value (or nil) gives the paper's
+// defaults: all cores, FGD workload balancing with β = 0.2, BFS matching
+// order, intersection-based enumeration, automorphism breaking on.
+type Options struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Limit stops after this many embeddings (0 = all). The paper's
+	// first-k experiments use 1024.
+	Limit int64
+	// Strategy selects cluster distribution (default StrategyFine).
+	Strategy Strategy
+	// Beta is the ExtremeCluster decomposition threshold factor
+	// (default 0.2, the paper's §6.3 setting).
+	Beta float64
+	// Order selects the matching-order heuristic (default OrderBFS).
+	Order OrderHeuristic
+	// Root, when non-nil, forces the root query vertex; nil selects it
+	// by the paper's argmin |cand(u)|/deg(u) cost rule.
+	Root *VertexID
+	// KeepAutomorphisms lists every automorphic image of each embedding
+	// instead of one canonical representative.
+	KeepAutomorphisms bool
+	// EdgeVerification switches the enumerator to adjacency-probe
+	// verification of non-tree edges — the ablation of Section 4.1;
+	// intersection (the default) is what the paper advocates.
+	EdgeVerification bool
+	// RefineRounds is the number of reverse-BFS refinement passes
+	// (default 1, the paper's setting).
+	RefineRounds int
+	// Stats, when non-nil, accumulates instrumentation counters.
+	Stats *Stats
+}
+
+func (o *Options) normalized() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.Beta <= 0 {
+		out.Beta = workload.DefaultBeta
+	}
+	return out
+}
+
+// Matcher is a prepared (indexed) query against a data graph.
+type Matcher struct {
+	inner *enum.Matcher
+	index *icec.Index
+	opts  Options
+}
+
+// Match preprocesses the query, builds the CECI index, and returns a
+// Matcher ready to enumerate. opts may be nil for defaults.
+//
+// The query must be a connected graph; an error is returned otherwise
+// (disconnected patterns should be matched component by component and
+// joined by the caller).
+func Match(data, query *Graph, opts *Options) (*Matcher, error) {
+	if data == nil || query == nil {
+		return nil, fmt.Errorf("ceci: nil %s graph", map[bool]string{true: "data", false: "query"}[data == nil])
+	}
+	o := opts.normalized()
+	forcedRoot := -1
+	if o.Root != nil {
+		forcedRoot = int(*o.Root)
+	}
+	tree, err := order.Preprocess(data, query, order.Options{
+		ForcedRoot: forcedRoot,
+		Heuristic:  o.Order,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := icec.Build(data, tree, icec.Options{
+		Workers:      o.Workers,
+		RefineRounds: o.RefineRounds,
+		Stats:        o.Stats,
+	})
+	m := enum.NewMatcher(ix, enum.Options{
+		Workers:                 o.Workers,
+		Limit:                   o.Limit,
+		Strategy:                o.Strategy.internal(),
+		Beta:                    o.Beta,
+		EdgeVerification:        o.EdgeVerification,
+		DisableSymmetryBreaking: o.KeepAutomorphisms,
+		Stats:                   o.Stats,
+	})
+	return &Matcher{inner: m, index: ix, opts: o}, nil
+}
+
+// Count enumerates and returns the number of embeddings (respecting
+// Options.Limit).
+func (m *Matcher) Count() int64 { return m.inner.Count() }
+
+// ForEach streams embeddings to fn. The slice is indexed by query vertex
+// ID and reused between calls — copy it to retain it. fn may be invoked
+// concurrently from multiple workers; return false to stop early.
+func (m *Matcher) ForEach(fn func(embedding []VertexID) bool) { m.inner.ForEach(fn) }
+
+// Collect gathers embeddings into a slice. Intended for modest result
+// sets; use ForEach to stream large ones.
+func (m *Matcher) Collect() [][]VertexID { return m.inner.Collect() }
+
+// First returns up to k embeddings (the paper's first-1024 mode uses
+// k = 1024). Which embeddings are returned is nondeterministic under
+// parallel enumeration.
+func (m *Matcher) First(k int) [][]VertexID {
+	if k <= 0 {
+		return nil
+	}
+	var out [][]VertexID
+	remaining := k
+	m.ForEach(func(emb []VertexID) bool {
+		cp := make([]VertexID, len(emb))
+		copy(cp, emb)
+		out = append(out, cp)
+		remaining--
+		return remaining > 0
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// IndexInfo reports size and shape statistics of the built CECI,
+// supporting the paper's Table 2 accounting.
+type IndexInfo struct {
+	// Pivots is the number of embedding clusters.
+	Pivots int
+	// CandidateEdges counts (key, value) pairs across TE/NTE structures.
+	CandidateEdges int64
+	// SizeBytes is 8 × CandidateEdges (the paper's accounting).
+	SizeBytes int64
+	// TheoreticalBytes is the worst case 8·|Eq|·|Eg|.
+	TheoreticalBytes int64
+	// TotalCardinality upper-bounds the number of embeddings.
+	TotalCardinality int64
+}
+
+// IndexInfo returns statistics about the matcher's CECI.
+func (m *Matcher) IndexInfo() IndexInfo {
+	return IndexInfo{
+		Pivots:           len(m.index.Pivots()),
+		CandidateEdges:   m.index.CandidateEdges(),
+		SizeBytes:        m.index.SizeBytes(),
+		TheoreticalBytes: m.index.TheoreticalBytes(),
+		TotalCardinality: m.index.TotalCardinality(),
+	}
+}
+
+// SpaceSavedPercent is the Table 2 "% of space saved" metric.
+func (i IndexInfo) SpaceSavedPercent() float64 {
+	if i.TheoreticalBytes == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(i.SizeBytes)/float64(i.TheoreticalBytes))
+}
+
+// Count is a one-shot convenience: index + enumerate + count.
+func Count(data, query *Graph, opts *Options) (int64, error) {
+	m, err := Match(data, query, opts)
+	if err != nil {
+		return 0, err
+	}
+	return m.Count(), nil
+}
+
+// ForEachIncremental enumerates embeddings cluster by cluster, building
+// each embedding cluster's slice of the CECI on demand instead of
+// indexing the whole data graph up front. Embedding clusters are
+// independent — the paper's core observation — so this is the right mode
+// for first-k workloads (Options.Limit, the paper's 1,024-embedding
+// experiments) and for very selective patterns, where a monolithic build
+// would index far more of the graph than the enumeration visits.
+//
+// Callback semantics match Matcher.ForEach. For exhaustive enumeration
+// prefer Match: the shared index amortizes across clusters.
+func ForEachIncremental(data, query *Graph, opts *Options, fn func(embedding []VertexID) bool) error {
+	if data == nil || query == nil {
+		return fmt.Errorf("ceci: nil graph")
+	}
+	o := opts.normalized()
+	forcedRoot := -1
+	if o.Root != nil {
+		forcedRoot = int(*o.Root)
+	}
+	tree, err := order.Preprocess(data, query, order.Options{
+		ForcedRoot: forcedRoot,
+		Heuristic:  o.Order,
+	})
+	if err != nil {
+		return err
+	}
+	enum.ForEachIncremental(data, tree,
+		icec.Options{RefineRounds: o.RefineRounds, Stats: o.Stats},
+		enum.Options{
+			Workers:                 o.Workers,
+			Limit:                   o.Limit,
+			EdgeVerification:        o.EdgeVerification,
+			DisableSymmetryBreaking: o.KeepAutomorphisms,
+			Stats:                   o.Stats,
+		}, fn)
+	return nil
+}
+
+// CountIncremental counts embeddings via ForEachIncremental.
+func CountIncremental(data, query *Graph, opts *Options) (int64, error) {
+	var n atomic.Int64
+	err := ForEachIncremental(data, query, opts, func([]VertexID) bool {
+		n.Add(1)
+		return true
+	})
+	return n.Load(), err
+}
+
+// Automorphisms returns the number of automorphic images each embedding
+// of query has under the equivalence classes the enumerator breaks.
+func Automorphisms(query *Graph) int {
+	return auto.Compute(query).OrbitSize()
+}
+
+// LoadGraphCSR reads the binary CSR format written by WriteGraphCSR.
+func LoadGraphCSR(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadCSR(f)
+}
+
+// WriteGraphCSR writes g in the binary CSR format used by the
+// shared-storage distributed mode.
+func WriteGraphCSR(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteCSR(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

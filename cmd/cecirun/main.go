@@ -1,0 +1,169 @@
+// Command cecirun runs one subgraph-matching query against a data graph
+// and reports the embedding count, timings, and index statistics.
+//
+// Usage:
+//
+//	cecirun -data graph.lg -query query.lg
+//	cecirun -data graph.edges -qg QG3 -workers 8 -strategy fgd
+//	cecirun -dataset lj_s -qg QG1 -limit 1024 -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ceci"
+	"ceci/internal/datasets"
+	"ceci/internal/gen"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "data graph file (.lg labeled, else edge list)")
+		dataset   = flag.String("dataset", "", "built-in dataset substitute (alternative to -data)")
+		queryPath = flag.String("query", "", "query graph file")
+		qg        = flag.String("qg", "", "built-in query graph: QG1..QG5 (alternative to -query)")
+		workers   = flag.Int("workers", 0, "worker count (0 = all cores)")
+		limit     = flag.Int64("limit", 0, "stop after this many embeddings (0 = all)")
+		strategy  = flag.String("strategy", "fgd", "workload strategy: st | cgd | fgd")
+		beta      = flag.Float64("beta", 0.2, "extreme-cluster threshold factor")
+		orderName = flag.String("order", "bfs", "matching order: bfs | least-frequent | path-ranked | edge-ranked")
+		edgeVerif = flag.Bool("edge-verification", false, "ablation: verify non-tree edges by adjacency probes")
+		printEmbs = flag.Bool("print", false, "print each embedding")
+		verbose   = flag.Bool("v", false, "print index statistics and counters")
+		explain   = flag.Bool("explain", false, "print the query plan before running")
+	)
+	flag.Parse()
+
+	if err := run(*dataPath, *dataset, *queryPath, *qg, *workers, *limit,
+		*strategy, *beta, *orderName, *edgeVerif, *printEmbs, *verbose, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "cecirun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
+	strategy string, beta float64, orderName string, edgeVerif, printEmbs, verbose, explain bool) error {
+
+	data, err := loadData(dataPath, dataset)
+	if err != nil {
+		return err
+	}
+	query, err := loadQuery(queryPath, qg)
+	if err != nil {
+		return err
+	}
+
+	opts := &ceci.Options{
+		Workers:          workers,
+		Limit:            limit,
+		Beta:             beta,
+		EdgeVerification: edgeVerif,
+		Stats:            &ceci.Stats{},
+	}
+	switch strings.ToLower(strategy) {
+	case "st":
+		opts.Strategy = ceci.StrategyStatic
+	case "cgd":
+		opts.Strategy = ceci.StrategyCoarse
+	case "fgd", "":
+		opts.Strategy = ceci.StrategyFine
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	switch strings.ToLower(orderName) {
+	case "bfs", "":
+		opts.Order = ceci.OrderBFS
+	case "least-frequent":
+		opts.Order = ceci.OrderLeastFrequent
+	case "path-ranked":
+		opts.Order = ceci.OrderPathRanked
+	case "edge-ranked":
+		opts.Order = ceci.OrderEdgeRanked
+	default:
+		return fmt.Errorf("unknown order %q", orderName)
+	}
+
+	fmt.Printf("data:  %v\n", data)
+	fmt.Printf("query: %v\n", query)
+
+	buildStart := time.Now()
+	m, err := ceci.Match(data, query, opts)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+
+	if explain {
+		fmt.Println()
+		fmt.Print(m.Explain())
+		fmt.Println()
+	}
+
+	enumStart := time.Now()
+	var count int64
+	if printEmbs {
+		var mu sync.Mutex
+		m.ForEach(func(emb []ceci.VertexID) bool {
+			mu.Lock()
+			fmt.Println(emb)
+			count++
+			mu.Unlock()
+			return true
+		})
+	} else {
+		count = m.Count()
+	}
+	enumTime := time.Since(enumStart)
+
+	fmt.Printf("embeddings: %d\n", count)
+	fmt.Printf("build:      %v\n", buildTime)
+	fmt.Printf("enumerate:  %v\n", enumTime)
+	if verbose {
+		info := m.IndexInfo()
+		fmt.Printf("index: pivots=%d candidate-edges=%d size=%dB theoretical=%dB saved=%.1f%%\n",
+			info.Pivots, info.CandidateEdges, info.SizeBytes,
+			info.TheoreticalBytes, info.SpaceSavedPercent())
+		fmt.Printf("cardinality bound: %d\n", info.TotalCardinality)
+		for k, v := range opts.Stats.Snapshot() {
+			if v != 0 {
+				fmt.Printf("  %-20s %d\n", k, v)
+			}
+		}
+	}
+	return nil
+}
+
+func loadData(path, dataset string) (*ceci.Graph, error) {
+	switch {
+	case path != "" && dataset != "":
+		return nil, fmt.Errorf("-data and -dataset are mutually exclusive")
+	case path != "":
+		return ceci.LoadGraphFile(path)
+	case dataset != "":
+		return datasets.Load(dataset)
+	default:
+		return nil, fmt.Errorf("need -data or -dataset")
+	}
+}
+
+func loadQuery(path, qg string) (*ceci.Graph, error) {
+	switch {
+	case path != "" && qg != "":
+		return nil, fmt.Errorf("-query and -qg are mutually exclusive")
+	case path != "":
+		return ceci.LoadGraphFile(path)
+	case qg != "":
+		q, ok := gen.QueryGraphs()[strings.ToUpper(qg)]
+		if !ok {
+			return nil, fmt.Errorf("unknown query graph %q (QG1..QG5)", qg)
+		}
+		return q, nil
+	default:
+		return nil, fmt.Errorf("need -query or -qg")
+	}
+}

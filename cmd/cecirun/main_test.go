@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceci"
+	"ceci/internal/gen"
+)
+
+func writeFixtures(t *testing.T) (dataPath, queryPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.lg")
+	queryPath = filepath.Join(dir, "query.lg")
+	for path, g := range map[string]*ceci.Graph{
+		dataPath:  gen.Fig1Data(),
+		queryPath: gen.Fig1Query(),
+	} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ceci.WriteLabeledGraph(f, g); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return dataPath, queryPath
+}
+
+func TestRunFromFiles(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	for _, strategy := range []string{"st", "cgd", "fgd"} {
+		if err := run(dataPath, "", queryPath, "", 1, 0, strategy, 0.2, "bfs", false, false, true, true); err != nil {
+			t.Fatalf("strategy %s: %v", strategy, err)
+		}
+	}
+}
+
+func TestRunBuiltins(t *testing.T) {
+	if err := run("", "yt_s", "", "QG1", 2, 100, "fgd", 0.2, "least-frequent", false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	cases := []struct {
+		name                     string
+		data, dataset, query, qg string
+		strategy, order          string
+	}{
+		{"no data", "", "", queryPath, "", "fgd", "bfs"},
+		{"both data", dataPath, "yt_s", queryPath, "", "fgd", "bfs"},
+		{"no query", dataPath, "", "", "", "fgd", "bfs"},
+		{"both query", dataPath, "", queryPath, "QG1", "fgd", "bfs"},
+		{"bad qg", dataPath, "", "", "QG9", "fgd", "bfs"},
+		{"bad strategy", dataPath, "", queryPath, "", "warp", "bfs"},
+		{"bad order", dataPath, "", queryPath, "", "fgd", "chaos"},
+		{"bad dataset", "", "nope", queryPath, "", "fgd", "bfs"},
+	}
+	for _, c := range cases {
+		if err := run(c.data, c.dataset, c.query, c.qg, 1, 0, c.strategy, 0.2, c.order, false, false, false, false); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

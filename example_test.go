@@ -1,0 +1,89 @@
+package ceci_test
+
+import (
+	"fmt"
+	"sort"
+
+	"ceci"
+)
+
+// The Figure 1 running example of the paper: a 5-vertex labeled pattern
+// with two embeddings in a 15-vertex data graph.
+func ExampleMatch() {
+	const (
+		labelA ceci.Label = iota
+		labelB
+		labelC
+		labelD
+		labelE
+	)
+	// Data graph: two overlapping candidate regions, one of which
+	// survives filtering.
+	db := ceci.NewBuilder(0)
+	add := func(l ceci.Label) ceci.VertexID { return db.AddVertex(l) }
+	v1, v3, v5 := add(labelA), add(labelB), add(labelB)
+	v4, v6 := add(labelC), add(labelC)
+	v11, v13 := add(labelD), add(labelD)
+	v12, v14 := add(labelE), add(labelE)
+	for _, e := range [][2]ceci.VertexID{
+		{v1, v3}, {v1, v5}, {v1, v4}, {v1, v6},
+		{v3, v4}, {v5, v6},
+		{v3, v11}, {v5, v13}, {v4, v11}, {v6, v13},
+		{v4, v12}, {v6, v14},
+	} {
+		db.AddEdge(e[0], e[1])
+	}
+	data := db.MustBuild()
+
+	// Query: A-B, A-C, B-C triangle with D and E pendants.
+	qb := ceci.NewBuilder(0)
+	u1, u2, u3 := qb.AddVertex(labelA), qb.AddVertex(labelB), qb.AddVertex(labelC)
+	u4, u5 := qb.AddVertex(labelD), qb.AddVertex(labelE)
+	qb.AddEdge(u1, u2)
+	qb.AddEdge(u1, u3)
+	qb.AddEdge(u2, u3)
+	qb.AddEdge(u2, u4)
+	qb.AddEdge(u3, u4)
+	qb.AddEdge(u3, u5)
+	query := qb.MustBuild()
+
+	m, err := ceci.Match(data, query, nil)
+	if err != nil {
+		panic(err)
+	}
+	embs := m.Collect()
+	sort.Slice(embs, func(i, j int) bool { return embs[i][u2] < embs[j][u2] })
+	for _, emb := range embs {
+		fmt.Println(emb)
+	}
+	// Output:
+	// [0 1 3 5 7]
+	// [0 2 4 6 8]
+}
+
+// Counting with a limit: the paper's first-k mode.
+func ExampleCount() {
+	b := ceci.NewBuilder(0)
+	// A 5-clique: C(5,3) = 10 triangles.
+	for i := 0; i < 5; i++ {
+		b.AddVertex(0)
+	}
+	for i := ceci.VertexID(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	data := b.MustBuild()
+
+	q := ceci.NewBuilder(3)
+	q.AddEdge(0, 1)
+	q.AddEdge(1, 2)
+	q.AddEdge(0, 2)
+	triangle := q.MustBuild()
+
+	all, _ := ceci.Count(data, triangle, nil)
+	first4, _ := ceci.Count(data, triangle, &ceci.Options{Limit: 4})
+	fmt.Println(all, first4)
+	// Output:
+	// 10 4
+}

@@ -1,0 +1,107 @@
+// Protein-motif search: the use case that motivates the paper's labeled
+// experiments (analysis of protein-protein interaction networks, §1).
+//
+// A synthetic PPI-style network is generated with multi-labeled vertices
+// (proteins carry one or more functional annotations, like the paper's
+// Human dataset with 90 labels), and two classic network motifs are
+// searched: the "bi-fan" regulatory motif and a labeled feed-forward
+// triangle. The example demonstrates multi-label matching, the first-k
+// mode, and instrumentation counters.
+//
+// Run with:
+//
+//	go run ./examples/protein
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ceci"
+	"ceci/internal/datasets"
+)
+
+func main() {
+	// hu_s: the paper's Human-dataset substitute (4.6K proteins, ~80K
+	// interactions, 90 functional labels, one or more per vertex).
+	data, err := datasets.Load("hu_s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PPI-style network: %v\n", data)
+
+	// Use the two most common annotations as the motif's labels so the
+	// search has realistic selectivity (annotation frequencies in real
+	// PPI data are skewed; in the synthetic substitute they are near
+	// uniform, so "most common" just guarantees a non-trivial demo).
+	kinase, receptor := topTwoLabels(data)
+	fmt.Printf("searching motifs over annotations %d (%d proteins) and %d (%d proteins)\n",
+		kinase, data.LabelFrequency(kinase), receptor, data.LabelFrequency(receptor))
+
+	// Motif 1: labeled feed-forward triangle — kinase regulating two
+	// receptors that also interact.
+	qb := ceci.NewBuilder(0)
+	k := qb.AddVertex(kinase)
+	r1 := qb.AddVertex(receptor)
+	r2 := qb.AddVertex(receptor)
+	qb.AddEdge(k, r1)
+	qb.AddEdge(k, r2)
+	qb.AddEdge(r1, r2)
+	triangle := qb.MustBuild()
+
+	st := &ceci.Stats{}
+	m, err := ceci.Match(data, triangle, &ceci.Options{Stats: st})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := m.Count()
+	fmt.Printf("\nkinase->receptor feed-forward triangles: %d\n", n)
+	fmt.Printf("  recursive calls: %d, intersections: %d\n",
+		st.RecursiveCalls.Load(), st.IntersectionOps.Load())
+
+	// Motif 2: bi-fan — two kinases each interacting with the same two
+	// receptors. Symmetric query: automorphism breaking returns each
+	// subgraph once.
+	bb := ceci.NewBuilder(0)
+	k1 := bb.AddVertex(kinase)
+	k2 := bb.AddVertex(kinase)
+	s1 := bb.AddVertex(receptor)
+	s2 := bb.AddVertex(receptor)
+	bb.AddEdge(k1, s1)
+	bb.AddEdge(k1, s2)
+	bb.AddEdge(k2, s1)
+	bb.AddEdge(k2, s2)
+	bifan := bb.MustBuild()
+
+	fmt.Printf("\nbi-fan motif (automorphism group size %d, each subgraph listed once):\n",
+		ceci.Automorphisms(bifan))
+	mb, err := ceci.Match(data, bifan, &ceci.Options{Limit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, emb := range mb.First(5) {
+		fmt.Printf("  match %d: kinases(%d,%d) receptors(%d,%d)\n",
+			i+1, emb[k1], emb[k2], emb[s1], emb[s2])
+	}
+
+	total, err := ceci.Count(data, bifan, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  total bi-fans: %d\n", total)
+}
+
+// topTwoLabels returns the two most frequent labels of g.
+func topTwoLabels(g *ceci.Graph) (ceci.Label, ceci.Label) {
+	best, second := ceci.Label(0), ceci.Label(1)
+	for l := 0; l < g.NumLabels(); l++ {
+		f := g.LabelFrequency(ceci.Label(l))
+		if f > g.LabelFrequency(best) {
+			second = best
+			best = ceci.Label(l)
+		} else if f > g.LabelFrequency(second) && ceci.Label(l) != best {
+			second = ceci.Label(l)
+		}
+	}
+	return best, second
+}

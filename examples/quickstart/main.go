@@ -1,0 +1,83 @@
+// Quickstart: build a small labeled data graph, define a query pattern,
+// and enumerate every isomorphic embedding with the default (parallel,
+// FGD-balanced) matcher.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ceci"
+)
+
+func main() {
+	// Data graph: a toy social network. Labels: 0 = person, 1 = group,
+	// 2 = page.
+	const (
+		person ceci.Label = iota
+		group
+		page
+	)
+	db := ceci.NewBuilder(0)
+	alice := db.AddVertex(person)
+	bob := db.AddVertex(person)
+	carol := db.AddVertex(person)
+	dave := db.AddVertex(person)
+	goBoard := db.AddVertex(group)
+	chess := db.AddVertex(group)
+	news := db.AddVertex(page)
+
+	// Friendships.
+	db.AddEdge(alice, bob)
+	db.AddEdge(bob, carol)
+	db.AddEdge(carol, alice)
+	db.AddEdge(carol, dave)
+	// Memberships and likes.
+	db.AddEdge(alice, goBoard)
+	db.AddEdge(bob, goBoard)
+	db.AddEdge(carol, chess)
+	db.AddEdge(dave, chess)
+	db.AddEdge(alice, news)
+	db.AddEdge(bob, news)
+	data := db.MustBuild()
+
+	// Query: two friends who share a group membership — a triangle of
+	// person-person-group.
+	qb := ceci.NewBuilder(0)
+	p1 := qb.AddVertex(person)
+	p2 := qb.AddVertex(person)
+	g := qb.AddVertex(group)
+	qb.AddEdge(p1, p2)
+	qb.AddEdge(p1, g)
+	qb.AddEdge(p2, g)
+	query := qb.MustBuild()
+
+	m, err := ceci.Match(data, query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := map[ceci.VertexID]string{
+		alice: "alice", bob: "bob", carol: "carol", dave: "dave",
+		goBoard: "go-board", chess: "chess", news: "news",
+	}
+	fmt.Println("friend pairs sharing a group:")
+	// The callback may run concurrently from several workers; guard
+	// shared state (here, stdout ordering) with a mutex.
+	var mu sync.Mutex
+	m.ForEach(func(emb []ceci.VertexID) bool {
+		mu.Lock()
+		fmt.Printf("  %s + %s in %s\n", names[emb[p1]], names[emb[p2]], names[emb[g]])
+		mu.Unlock()
+		return true
+	})
+
+	info := m.IndexInfo()
+	fmt.Printf("\nindex: %d embedding clusters, %d candidate edges, %.1f%% below worst case\n",
+		info.Pivots, info.CandidateEdges, info.SpaceSavedPercent())
+}

@@ -1,0 +1,3 @@
+module ceci
+
+go 1.24

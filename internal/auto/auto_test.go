@@ -1,0 +1,180 @@
+package auto_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"ceci/internal/auto"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+)
+
+func TestTriangleEquivalence(t *testing.T) {
+	// QG1: all three vertices are mutually equivalent (one class).
+	c := auto.Compute(gen.QG1())
+	if len(c.Classes) != 1 || len(c.Classes[0]) != 3 {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+	if c.OrbitSize() != 6 {
+		t.Fatalf("orbit = %d, want 3! = 6", c.OrbitSize())
+	}
+}
+
+func TestCliqueOrbits(t *testing.T) {
+	if got := auto.Compute(gen.QG3()).OrbitSize(); got != 24 {
+		t.Fatalf("QG3 orbit = %d, want 4! = 24", got)
+	}
+	if got := auto.Compute(gen.QG5()).OrbitSize(); got != 120 {
+		t.Fatalf("QG5 orbit = %d, want 5! = 120", got)
+	}
+}
+
+func TestSquareEquivalence(t *testing.T) {
+	// QG2 (4-cycle): opposite corners are NEC-equivalent: {0,2} and {1,3}.
+	c := auto.Compute(gen.QG2())
+	if len(c.Classes) != 2 {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+	if c.OrbitSize() != 4 {
+		t.Fatalf("orbit = %d, want 2!·2! = 4", c.OrbitSize())
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	// Path a-b-c: endpoints equivalent (non-adjacent case).
+	g := mustGraph(3, [][2]graph.VertexID{{0, 1}, {1, 2}})
+	c := auto.Compute(g)
+	if len(c.Classes) != 1 || len(c.Classes[0]) != 2 {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+}
+
+func TestLabelsBreakEquivalence(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.SetLabel(0, 1) // different label
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	c := auto.Compute(b.MustBuild())
+	// Only {1, 2} are equivalent now.
+	if len(c.Classes) != 1 || len(c.Classes[0]) != 2 || c.Classes[0][0] != 1 {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+}
+
+func TestFig1NoSymmetry(t *testing.T) {
+	if c := auto.Compute(gen.Fig1Query()); !c.Empty() {
+		t.Fatalf("Figure 1 query has distinct labels, expected no classes, got %v", c.Classes)
+	}
+}
+
+func TestAllowsOrdering(t *testing.T) {
+	c := auto.Compute(gen.QG1()) // class {0,1,2}: M(0)<M(1)<M(2)
+	m := make([]graph.VertexID, 3)
+	matched := make([]bool, 3)
+	// With vertex 0 matched to 5, vertex 1 may only take > 5.
+	m[0] = 5
+	matched[0] = true
+	if c.Allows(1, 3, m, matched) {
+		t.Fatal("allowed M(1) < M(0)")
+	}
+	if !c.Allows(1, 7, m, matched) {
+		t.Fatal("rejected M(1) > M(0)")
+	}
+	// Reverse direction: matching vertex 0 after vertex 1.
+	matched[0] = false
+	m[1] = 5
+	matched[1] = true
+	if c.Allows(0, 7, m, matched) {
+		t.Fatal("allowed M(0) > M(1)")
+	}
+	if !c.Allows(0, 2, m, matched) {
+		t.Fatal("rejected M(0) < M(1)")
+	}
+}
+
+// TestOrbitFactorOnCliques: on clique queries the NEC classes generate
+// the full automorphism group, so raw count = constrained count × orbit.
+func TestOrbitFactorOnCliques(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data := randomGraph(rng, 12, 40)
+	for _, q := range []*graph.Graph{gen.QG1(), gen.QG3()} {
+		cons := auto.Compute(q)
+		raw := reference.Count(data, q, reference.Options{})
+		constrained := reference.Count(data, q, reference.Options{Constraints: cons})
+		if raw != constrained*int64(cons.OrbitSize()) {
+			t.Fatalf("raw %d != constrained %d × orbit %d", raw, constrained, cons.OrbitSize())
+		}
+	}
+}
+
+// TestConstraintsNeverLoseSubgraphs: every subgraph found without
+// constraints has exactly one representative under constraints.
+func TestConstraintsNeverLoseSubgraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		data := randomGraph(rng, 10, 25)
+		query, err := gen.DFSQuery(data, 2+rng.Intn(3), rng)
+		if err != nil {
+			continue
+		}
+		cons := auto.Compute(query)
+		rawSets := map[string]int{}
+		reference.ForEach(data, query, reference.Options{}, func(emb []graph.VertexID) bool {
+			rawSets[vertexSetKey(emb)]++
+			return true
+		})
+		conSets := map[string]int{}
+		reference.ForEach(data, query, reference.Options{Constraints: cons}, func(emb []graph.VertexID) bool {
+			conSets[vertexSetKey(emb)]++
+			return true
+		})
+		for set := range rawSets {
+			if conSets[set] == 0 {
+				t.Fatalf("trial %d: subgraph %q lost under constraints", trial, set)
+			}
+		}
+		for set, n := range conSets {
+			if rawSets[set] < n {
+				t.Fatalf("trial %d: subgraph %q over-represented", trial, set)
+			}
+		}
+	}
+}
+
+func vertexSetKey(emb []graph.VertexID) string {
+	sorted := append([]graph.VertexID(nil), emb...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for _, v := range sorted {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+func mustGraph(n int, edges [][2]graph.VertexID) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,211 @@
+// Package bare implements the no-index parallel backtracking baseline of
+// Figure 19: subgraph listing directly on the data graph. Candidates for
+// each query vertex come from the matched parent's adjacency with only
+// label and degree checks; every other query edge into the prefix is
+// verified by adjacency probes. There is no candidate index, no NLC
+// filtering, and no refinement — isolating the contribution of CECI's
+// pipeline when compared against internal/enum.
+package bare
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/stats"
+)
+
+// ForEach enumerates embeddings of query in data. Workers each own a
+// backtracking state and pull root candidates from a shared cursor.
+func ForEach(data, query *graph.Graph, opts baseline.Options, fn func(emb []graph.VertexID) bool) error {
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	var cons *auto.Constraints
+	if !opts.DisableSymmetryBreaking {
+		cons = auto.Compute(query)
+	}
+
+	// Root candidates: label + degree only (no NLC — that is CECI's).
+	var roots []graph.VertexID
+	rootLabels := query.Labels(tree.Root)
+	rootDeg := query.Degree(tree.Root)
+	for _, v := range data.VerticesWithLabel(rootLabels[0]) {
+		if data.Degree(v) >= rootDeg && hasAllLabels(data, v, rootLabels) {
+			roots = append(roots, v)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers < 1 {
+		return nil
+	}
+
+	ctl := newControl(fn, opts.Limit)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := &searcher{
+				data: data, query: query, tree: tree, cons: cons, ctl: ctl,
+				emb:     make([]graph.VertexID, query.NumVertices()),
+				matched: make([]bool, query.NumVertices()),
+				used:    make([]bool, data.NumVertices()),
+				stats:   opts.Stats,
+			}
+			defer s.flush()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(len(roots)) || ctl.stop.Load() {
+					return
+				}
+				v := roots[i]
+				if cons != nil && !cons.Allows(tree.Root, v, s.emb, s.matched) {
+					continue
+				}
+				s.emb[tree.Root] = v
+				s.matched[tree.Root] = true
+				s.used[v] = true
+				ok := s.search(1)
+				s.matched[tree.Root] = false
+				s.used[v] = false
+				if !ok {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// Count returns the number of embeddings.
+func Count(data, query *graph.Graph, opts baseline.Options) (int64, error) {
+	return baseline.CountWith(ForEach, data, query, opts)
+}
+
+type control struct {
+	fn      func([]graph.VertexID) bool
+	limit   int64
+	emitted atomic.Int64
+	stop    atomic.Bool
+}
+
+func newControl(fn func([]graph.VertexID) bool, limit int64) *control {
+	return &control{fn: fn, limit: limit}
+}
+
+func (c *control) emit(emb []graph.VertexID) bool {
+	if c.limit > 0 {
+		n := c.emitted.Add(1)
+		if n > c.limit {
+			c.stop.Store(true)
+			return false
+		}
+		if !c.fn(emb) || n == c.limit {
+			c.stop.Store(true)
+			return false
+		}
+		return true
+	}
+	if !c.fn(emb) {
+		c.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+type searcher struct {
+	data, query *graph.Graph
+	tree        *order.QueryTree
+	cons        *auto.Constraints
+	ctl         *control
+	emb         []graph.VertexID
+	matched     []bool
+	used        []bool
+	stats       *stats.Counters
+
+	recursiveCalls int64
+	verifications  int64
+}
+
+func (s *searcher) search(depth int) bool {
+	if depth == len(s.tree.Order) {
+		return s.ctl.emit(s.emb)
+	}
+	u := s.tree.Order[depth]
+	s.recursiveCalls++
+	up := graph.VertexID(s.tree.Parent[u])
+	qLabels := s.query.Labels(u)
+	qDeg := s.query.Degree(u)
+
+	for _, v := range s.data.Neighbors(s.emb[up]) {
+		if s.used[v] || s.data.Degree(v) < qDeg || !hasAllLabels(s.data, v, qLabels) {
+			continue
+		}
+		if s.cons != nil && !s.cons.Allows(u, v, s.emb, s.matched) {
+			continue
+		}
+		if !s.verifyEdges(u, v) {
+			continue
+		}
+		s.emb[u] = v
+		s.matched[u] = true
+		s.used[v] = true
+		ok := s.search(depth + 1)
+		s.matched[u] = false
+		s.used[v] = false
+		if !ok {
+			return false
+		}
+		if s.ctl.stop.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyEdges probes every query edge from u into the matched prefix
+// other than the tree edge (whose adjacency provided v).
+func (s *searcher) verifyEdges(u graph.VertexID, v graph.VertexID) bool {
+	up := graph.VertexID(s.tree.Parent[u])
+	for _, w := range s.query.Neighbors(u) {
+		if w == up || !s.matched[w] {
+			continue
+		}
+		s.verifications++
+		if !s.data.HasEdge(s.emb[w], v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) flush() {
+	if s.stats != nil {
+		s.stats.RecursiveCalls.Add(s.recursiveCalls)
+		s.stats.EdgeVerifications.Add(s.verifications)
+	}
+}
+
+func hasAllLabels(g *graph.Graph, v graph.VertexID, labels []graph.Label) bool {
+	for _, l := range labels {
+		if !g.HasLabel(v, l) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package bare_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/baseline/bare"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+	"ceci/internal/stats"
+)
+
+func TestBareSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		data := randomLabeled(rng, 14, 40, 2)
+		query, err := gen.DFSQuery(data, 3+rng.Intn(3), rng)
+		if err != nil {
+			continue
+		}
+		want := reference.Count(data, query, reference.Options{Constraints: auto.Compute(query)})
+		got, err := bare.Count(data, query, baseline.Options{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d want %d", trial, got, want)
+		}
+	}
+}
+
+func TestBareVerificationCounter(t *testing.T) {
+	st := &stats.Counters{}
+	data := gen.Fig1Data()
+	n, err := bare.Count(data, gen.Fig1Query(), baseline.Options{Stats: st, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	// Two non-tree edges in the query: probes must happen.
+	if st.EdgeVerifications.Load() == 0 {
+		t.Fatal("no edge verifications recorded")
+	}
+}
+
+func TestBareSingleVertexQuery(t *testing.T) {
+	b := graph.NewBuilder(1)
+	b.SetLabel(0, 0)
+	q := b.MustBuild()
+	data := gen.ErdosRenyi(20, 40, 1)
+	got, err := bare.Count(data, q, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex with degree >= 0 and label 0 matches.
+	if got != int64(data.NumVertices()) {
+		t.Fatalf("got %d want %d", got, data.NumVertices())
+	}
+}
+
+func randomLabeled(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(labels)))
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,48 @@
+// Package baseline defines the shared surface of the comparison systems
+// the paper evaluates against (Section 6): a naive bare-graph lister, a
+// PsgL-style parallel lister, TurboIso- and CFLMatch-style index matchers,
+// and a DualSim-style page-bound enumerator. Each lives in its own
+// subpackage and registers itself here so the benchmark harness can
+// iterate over them uniformly.
+//
+// All baselines are independent implementations sharing only the graph
+// substrate, the preprocessing helpers, and the symmetry-breaking rules —
+// so cross-matcher agreement in tests is meaningful evidence of
+// correctness.
+package baseline
+
+import (
+	"sync/atomic"
+
+	"ceci/internal/graph"
+	"ceci/internal/stats"
+)
+
+// Options configures a baseline run. The zero value means: GOMAXPROCS
+// workers, list everything, break automorphisms, no instrumentation.
+type Options struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Limit stops after this many embeddings (0 = all).
+	Limit int64
+	// DisableSymmetryBreaking lists every automorphic image.
+	DisableSymmetryBreaking bool
+	// Stats receives instrumentation counters (may be nil).
+	Stats *stats.Counters
+}
+
+// ForEachFunc is the uniform entry point every baseline implements.
+// The embedding slice is indexed by query vertex ID and reused; fn must
+// copy to retain and may be called concurrently.
+type ForEachFunc func(data, query *graph.Graph, opts Options, fn func(emb []graph.VertexID) bool) error
+
+// CountWith adapts a ForEachFunc into a counter. Safe for baselines that
+// invoke the callback concurrently.
+func CountWith(f ForEachFunc, data, query *graph.Graph, opts Options) (int64, error) {
+	var n atomic.Int64
+	err := f(data, query, opts, func([]graph.VertexID) bool {
+		n.Add(1)
+		return true
+	})
+	return n.Load(), err
+}

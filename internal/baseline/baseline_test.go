@@ -1,0 +1,208 @@
+package baseline_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/baseline/bare"
+	"ceci/internal/baseline/cfl"
+	"ceci/internal/baseline/dualsim"
+	"ceci/internal/baseline/psgl"
+	"ceci/internal/baseline/turboiso"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+	"ceci/internal/stats"
+)
+
+// matchers under test, all sharing the uniform ForEach surface.
+var matchers = []struct {
+	name string
+	f    baseline.ForEachFunc
+}{
+	{"bare", bare.ForEach},
+	{"psgl", psgl.ForEach},
+	{"cfl", cfl.ForEach},
+	{"turboiso", turboiso.ForEach},
+	{"dualsim", func(d, q *graph.Graph, o baseline.Options, fn func([]graph.VertexID) bool) error {
+		return dualsim.ForEachOpt(d, q, dualsim.Options{Options: o}, fn) // IO latency off in tests
+	}},
+}
+
+// TestBaselinesMatchOracle cross-validates every baseline against the
+// brute-force reference on randomized labeled graphs, with and without
+// symmetry breaking, serial and parallel.
+func TestBaselinesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		data := randomGraph(rng, 10+rng.Intn(8), 18+rng.Intn(25), 1+rng.Intn(3))
+		query, err := gen.DFSQuery(data, 2+rng.Intn(4), rng)
+		if err != nil {
+			continue
+		}
+		wantRaw := reference.Count(data, query, reference.Options{})
+		cons := auto.Compute(query)
+		wantSym := reference.Count(data, query, reference.Options{Constraints: cons})
+
+		for _, m := range matchers {
+			for _, workers := range []int{1, 3} {
+				got, err := baseline.CountWith(m.f, data, query, baseline.Options{
+					Workers: workers, DisableSymmetryBreaking: true,
+				})
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, m.name, err)
+				}
+				if got != wantRaw {
+					t.Fatalf("trial %d %s/w%d raw: got %d want %d", trial, m.name, workers, got, wantRaw)
+				}
+				got, err = baseline.CountWith(m.f, data, query, baseline.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, m.name, err)
+				}
+				if got != wantSym {
+					t.Fatalf("trial %d %s/w%d sym: got %d want %d", trial, m.name, workers, got, wantSym)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinesOnFig1(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	for _, m := range matchers {
+		got, err := baseline.CountWith(m.f, data, query, baseline.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if got != 2 {
+			t.Fatalf("%s: count = %d, want 2", m.name, got)
+		}
+	}
+}
+
+func TestBaselineLimits(t *testing.T) {
+	data := gen.Kronecker(8, 8, 3)
+	query := gen.QG1()
+	total, err := bare.Count(data, query, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 50 {
+		t.Skipf("graph too sparse for limit test (only %d triangles)", total)
+	}
+	for _, m := range matchers {
+		got, err := baseline.CountWith(m.f, data, query, baseline.Options{Workers: 2, Limit: 37})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if got != 37 {
+			t.Fatalf("%s: limited count = %d, want 37", m.name, got)
+		}
+	}
+}
+
+func TestCFLMatrixWall(t *testing.T) {
+	// CFLMatch must refuse graphs beyond the adjacency-matrix capacity,
+	// reproducing the §6.4 observation.
+	b := graph.NewBuilder(cfl.MatrixVertexLimit + 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	data := b.MustBuild()
+	err := cfl.ForEach(data, gen.QG1(), baseline.Options{}, func([]graph.VertexID) bool { return true })
+	if !errors.Is(err, cfl.ErrGraphTooLarge) {
+		t.Fatalf("err = %v, want ErrGraphTooLarge", err)
+	}
+}
+
+func TestTurboIsoBoostedAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		data := randomGraph(rng, 14, 30, 2)
+		query, err := gen.DFSQuery(data, 4, rng)
+		if err != nil {
+			continue
+		}
+		plain, err := turboiso.Count(data, query, turboiso.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boosted, err := turboiso.Count(data, query, turboiso.Options{Boosted: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != boosted {
+			t.Fatalf("trial %d: boosted %d != plain %d", trial, boosted, plain)
+		}
+	}
+}
+
+func TestDualSimCountsPageLoads(t *testing.T) {
+	st := &stats.Counters{}
+	data := gen.Kronecker(9, 8, 7)
+	_, err := dualsim.Count(data, gen.QG1(), dualsim.Options{
+		Options:          baseline.Options{Stats: st, Workers: 2},
+		PageSizeVertices: 16,
+		BufferPages:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PageLoads.Load() == 0 {
+		t.Fatal("expected page loads with a 4-page buffer")
+	}
+}
+
+// TestDualSimSmallerBufferLoadsMore: shrinking the buffer must not reduce
+// page loads — the IO-amplification behaviour the baseline exists for.
+func TestDualSimSmallerBufferLoadsMore(t *testing.T) {
+	data := gen.Kronecker(9, 8, 7)
+	loads := func(buf int) int64 {
+		st := &stats.Counters{}
+		_, err := dualsim.Count(data, gen.QG2(), dualsim.Options{
+			Options:          baseline.Options{Stats: st, Workers: 1},
+			PageSizeVertices: 16,
+			BufferPages:      buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.PageLoads.Load()
+	}
+	small, large := loads(2), loads(1024)
+	if small < large {
+		t.Fatalf("buffer 2 loaded %d pages, buffer 1024 loaded %d — expected small <= large to fail, got inversion", small, large)
+	}
+}
+
+func TestPsglCountsRecursiveCalls(t *testing.T) {
+	st := &stats.Counters{}
+	data := gen.Kronecker(8, 6, 5)
+	n, err := psgl.Count(data, gen.QG1(), baseline.Options{Stats: st, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 && st.RecursiveCalls.Load() == 0 {
+		t.Fatal("psgl did not count expansions")
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(labels)))
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,81 @@
+package cfl_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/baseline/cfl"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+)
+
+func TestMatrixLimitEnforced(t *testing.T) {
+	b := graph.NewBuilder(cfl.MatrixVertexLimit + 10)
+	b.AddEdge(0, 1)
+	err := cfl.ForEach(b.MustBuild(), gen.QG1(), baseline.Options{},
+		func([]graph.VertexID) bool { return true })
+	if !errors.Is(err, cfl.ErrGraphTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCPIRefinementSound(t *testing.T) {
+	// Cross-check counts against the oracle under both symmetry modes on
+	// labeled random graphs: the CPI refinement must not lose embeddings.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		data := randomLabeled(rng, 15, 40, 3)
+		query, err := gen.DFSQuery(data, 3+rng.Intn(3), rng)
+		if err != nil {
+			continue
+		}
+		want := reference.Count(data, query, reference.Options{Constraints: auto.Compute(query)})
+		got, err := cfl.Count(data, query, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d want %d", trial, got, want)
+		}
+	}
+}
+
+func TestFirstKExact(t *testing.T) {
+	data := gen.ErdosRenyi(60, 400, 3)
+	total, err := cfl.Count(data, gen.QG1(), baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 10 {
+		t.Skip("too few triangles")
+	}
+	got, err := cfl.Count(data, gen.QG1(), baseline.Options{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("limited = %d", got)
+	}
+}
+
+func randomLabeled(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(labels)))
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,86 @@
+package dualsim_test
+
+import (
+	"testing"
+	"time"
+
+	"ceci/internal/baseline"
+	"ceci/internal/baseline/dualsim"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/stats"
+)
+
+func TestPageStoreLRU(t *testing.T) {
+	g := gen.ErdosRenyi(256, 1000, 1)
+	st := &stats.Counters{}
+	// 16 vertices per page, capacity 2 pages.
+	store := dualsim.NewPageStore(g, 16, 2, 0, st)
+
+	store.Neighbors(0)  // page 0: miss
+	store.Neighbors(5)  // page 0: hit
+	store.Neighbors(20) // page 1: miss
+	store.Neighbors(40) // page 2: miss, evicts page 0 (LRU)
+	store.Neighbors(0)  // page 0: miss again
+	if got := st.PageLoads.Load(); got != 4 {
+		t.Fatalf("page loads = %d, want 4", got)
+	}
+}
+
+func TestPageStoreTouchKeepsHot(t *testing.T) {
+	g := gen.ErdosRenyi(256, 1000, 1)
+	st := &stats.Counters{}
+	store := dualsim.NewPageStore(g, 16, 2, 0, st)
+	store.Neighbors(0)  // page 0 miss
+	store.Neighbors(20) // page 1 miss
+	store.Neighbors(0)  // page 0 hit -> page 1 becomes LRU
+	store.Neighbors(40) // page 2 miss, evicts page 1
+	store.Neighbors(0)  // page 0 still resident: hit
+	if got := st.PageLoads.Load(); got != 3 {
+		t.Fatalf("page loads = %d, want 3", got)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	g := gen.ErdosRenyi(64, 200, 2)
+	st := &stats.Counters{}
+	store := dualsim.NewPageStore(g, 8, 1, 2*time.Millisecond, st)
+	start := time.Now()
+	store.Neighbors(0)
+	store.Neighbors(63) // different page with capacity 1: second miss
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("IO latency not charged: %v", elapsed)
+	}
+}
+
+func TestNeighborsMatchGraph(t *testing.T) {
+	g := gen.Kronecker(7, 4, 3)
+	store := dualsim.NewPageStore(g, 32, 8, 0, nil)
+	for v := 0; v < g.NumVertices(); v += 7 {
+		got := store.Neighbors(graph.VertexID(v))
+		want := g.Neighbors(graph.VertexID(v))
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d adjacency differs", v)
+		}
+	}
+}
+
+func TestCountWithTinyBuffer(t *testing.T) {
+	// Correctness must be buffer-size independent.
+	data := gen.ErdosRenyi(100, 400, 2)
+	want, err := dualsim.Count(data, gen.QG2(), dualsim.Options{
+		Options: baseline.Options{Workers: 1}, BufferPages: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dualsim.Count(data, gen.QG2(), dualsim.Options{
+		Options: baseline.Options{Workers: 2}, BufferPages: 1, PageSizeVertices: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("tiny buffer changed result: %d vs %d", got, want)
+	}
+}

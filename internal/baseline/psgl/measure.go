@@ -1,0 +1,89 @@
+package psgl
+
+import (
+	"fmt"
+	"time"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+)
+
+// LevelCost records one level-wise expansion: how many intermediate
+// embeddings entered the level and how long the (serial) expansion took.
+// PsgL's thread scalability is bounded by its per-level barriers: with k
+// workers each level costs roughly max(duration/k, granularity floor),
+// and the barriers add up — the behaviour behind the paper's Figures
+// 13/14 comparison. The harness replays these measured costs through the
+// barrier model instead of relying on host core count.
+type LevelCost struct {
+	Level         int
+	Intermediates int
+	Duration      time.Duration
+}
+
+// Measure runs the level-wise expansion serially, timing every level.
+// It returns the per-level costs and the total embedding count.
+func Measure(data, query *graph.Graph, opts baseline.Options) ([]LevelCost, int64, error) {
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		return nil, 0, err
+	}
+	var cons *auto.Constraints
+	if !opts.DisableSymmetryBreaking {
+		cons = auto.Compute(query)
+	}
+
+	n := query.NumVertices()
+	var current [][]graph.VertexID
+	rootLabels := query.Labels(tree.Root)
+	rootDeg := query.Degree(tree.Root)
+	start := time.Now()
+	for _, v := range data.VerticesWithLabel(rootLabels[0]) {
+		if data.Degree(v) < rootDeg || !hasAllLabels(data, v, rootLabels) {
+			continue
+		}
+		emb := make([]graph.VertexID, n)
+		emb[tree.Root] = v
+		current = append(current, emb)
+	}
+	costs := []LevelCost{{Level: 0, Intermediates: len(current), Duration: time.Since(start)}}
+
+	for depth := 1; depth < n && len(current) > 0; depth++ {
+		u := tree.Order[depth]
+		in := len(current)
+		t0 := time.Now()
+		var aborted abortReason
+		current, aborted = expandLevel(data, query, tree, cons, current, depth, u, 1, DefaultMaxIntermediates, time.Time{}, opts)
+		if aborted != abortNone {
+			return nil, 0, fmt.Errorf("%w: level %d", ErrIntermediatesExceeded, depth)
+		}
+		costs = append(costs, LevelCost{Level: depth, Intermediates: in, Duration: time.Since(t0)})
+	}
+	return costs, int64(len(current)), nil
+}
+
+// SimulateMakespan models k workers processing the measured levels with a
+// barrier after each: level time = ceil(chunks/k) × per-chunk time, where
+// work is chunked at the same granularity the parallel implementation
+// uses. Small levels stop scaling once chunks < k — exactly PsgL's
+// "exhaustive work distribution" weakness.
+func SimulateMakespan(costs []LevelCost, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	const chunk = 64
+	var total time.Duration
+	for _, lc := range costs {
+		if lc.Intermediates == 0 || lc.Duration == 0 {
+			total += lc.Duration
+			continue
+		}
+		chunks := (lc.Intermediates + chunk - 1) / chunk
+		rounds := (chunks + workers - 1) / workers
+		// duration × rounds / chunks, ordered to avoid truncation loss.
+		total += time.Duration(int64(lc.Duration) * int64(rounds) / int64(chunks))
+	}
+	return total
+}

@@ -1,0 +1,279 @@
+// Package psgl implements a shared-memory analogue of PsgL (Shao et al.,
+// SIGMOD 2014), the "all embeddings at once" parallel subgraph lister the
+// paper compares against (Figures 7, 8, 13, 14, 18).
+//
+// Characteristic behaviour reproduced here:
+//
+//   - level-wise expansion: every partial embedding of level i is
+//     materialized before level i+1 starts, so intermediate result sets
+//     grow exponentially with query size (the memory blowup the paper
+//     reports for the YH graph);
+//   - workload redistribution after every expansion: partial embeddings
+//     are re-chunked across workers at each level (PsgL chooses a worker
+//     per intermediate embedding);
+//   - no candidate pruning beyond label/degree checks — no NLC filter, no
+//     refinement, no candidate index, which is why CECI's recursive-call
+//     reduction (Figure 18) materializes against it.
+package psgl
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+)
+
+// DefaultMaxIntermediates bounds the materialized partial embeddings per
+// level. PsgL's level-wise model is inherently exponential in memory —
+// the paper reports it needing more than 512 GB on the YH graph — so runs
+// that cross this bound abort with ErrIntermediatesExceeded (the "DNF"
+// entries in the comparison figures) instead of thrashing the host.
+const DefaultMaxIntermediates = 8_000_000
+
+// ErrIntermediatesExceeded reports a run aborted by the memory guard.
+var ErrIntermediatesExceeded = errors.New("psgl: intermediate embeddings exceed limit")
+
+// ErrDeadlineExceeded reports a run aborted by the Deadline option.
+var ErrDeadlineExceeded = errors.New("psgl: deadline exceeded")
+
+// Options extends the baseline options with the memory guard.
+type Options struct {
+	baseline.Options
+	// MaxIntermediates overrides DefaultMaxIntermediates (0 = default;
+	// negative = unlimited).
+	MaxIntermediates int
+	// Deadline, when non-zero, aborts the expansion once passed (checked
+	// between work chunks). PsgL cannot stream results early — levels
+	// must fully materialize — so harnesses bound it by wall clock here
+	// rather than by an embedding callback.
+	Deadline time.Time
+}
+
+// ForEach enumerates embeddings of query in data level by level with the
+// default memory guard.
+func ForEach(data, query *graph.Graph, opts baseline.Options, fn func(emb []graph.VertexID) bool) error {
+	return ForEachOpt(data, query, Options{Options: opts}, fn)
+}
+
+// ForEachOpt is ForEach with PsgL-specific options.
+func ForEachOpt(data, query *graph.Graph, popts Options, fn func(emb []graph.VertexID) bool) error {
+	opts := popts.Options
+	maxIntermediates := popts.MaxIntermediates
+	if maxIntermediates == 0 {
+		maxIntermediates = DefaultMaxIntermediates
+	}
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	var cons *auto.Constraints
+	if !opts.DisableSymmetryBreaking {
+		cons = auto.Compute(query)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	n := query.NumVertices()
+	// Level 0: the root's candidates, one partial embedding each.
+	var current [][]graph.VertexID
+	rootLabels := query.Labels(tree.Root)
+	rootDeg := query.Degree(tree.Root)
+	for _, v := range data.VerticesWithLabel(rootLabels[0]) {
+		if data.Degree(v) < rootDeg || !hasAllLabels(data, v, rootLabels) {
+			continue
+		}
+		emb := make([]graph.VertexID, n)
+		emb[tree.Root] = v
+		current = append(current, emb)
+	}
+
+	// Level-wise: each level is fully materialized before the next one
+	// starts — even under a Limit, true to PsgL's all-at-once model.
+	var emitted atomic.Int64
+	for depth := 1; depth < n && len(current) > 0; depth++ {
+		u := tree.Order[depth]
+		var aborted abortReason
+		current, aborted = expandLevel(data, query, tree, cons, current, depth, u, workers,
+			maxIntermediates, popts.Deadline, opts)
+		switch aborted {
+		case abortMemory:
+			return fmt.Errorf("%w: >%d at level %d", ErrIntermediatesExceeded, maxIntermediates, depth)
+		case abortDeadline:
+			return fmt.Errorf("%w at level %d", ErrDeadlineExceeded, depth)
+		}
+	}
+	// Deliver the completed embeddings.
+	for _, emb := range current {
+		if opts.Limit > 0 && emitted.Add(1) > opts.Limit {
+			break
+		}
+		if !fn(emb) {
+			break
+		}
+	}
+	return nil
+}
+
+// Count returns the number of embeddings.
+func Count(data, query *graph.Graph, opts baseline.Options) (int64, error) {
+	return baseline.CountWith(ForEach, data, query, opts)
+}
+
+// abortReason reports why expandLevel stopped early.
+type abortReason int
+
+const (
+	abortNone abortReason = iota
+	abortMemory
+	abortDeadline
+)
+
+// expandLevel maps every partial embedding to its extensions at query
+// vertex u. Partials are re-chunked across workers (PsgL's per-embedding
+// work assignment) with per-worker output bins merged at the barrier.
+// When maxIntermediates > 0 and the produced count crosses it — or the
+// deadline passes — the expansion aborts mid-level before memory or time
+// blows up.
+func expandLevel(data, query *graph.Graph, tree *order.QueryTree, cons *auto.Constraints,
+	current [][]graph.VertexID, depth int, u graph.VertexID, workers, maxIntermediates int,
+	deadline time.Time, opts baseline.Options) (next [][]graph.VertexID, aborted abortReason) {
+
+	if workers > len(current) {
+		workers = len(current)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bins := make([][][]graph.VertexID, workers)
+	var cursor, produced atomic.Int64
+	var abort atomic.Int32
+	var recursive int64
+	var wg sync.WaitGroup
+	checkDeadline := !deadline.IsZero()
+	matchedTmpl := make([]bool, query.NumVertices())
+	for i := 0; i < depth; i++ {
+		matchedTmpl[tree.Order[i]] = true
+	}
+	up := graph.VertexID(tree.Parent[u])
+	qLabels := query.Labels(u)
+	qDeg := query.Degree(u)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			matched := make([]bool, len(matchedTmpl))
+			copy(matched, matchedTmpl)
+			var local int64
+			prevLen := 0
+			const chunk = 64
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(current) || abort.Load() != 0 {
+					break
+				}
+				if checkDeadline && time.Now().After(deadline) {
+					abort.Store(int32(abortDeadline))
+					break
+				}
+				hi := lo + chunk
+				if hi > len(current) {
+					hi = len(current)
+				}
+				for _, emb := range current[lo:hi] {
+					for _, v := range data.Neighbors(emb[up]) {
+						if data.Degree(v) < qDeg || !hasAllLabels(data, v, qLabels) {
+							continue
+						}
+						if usedIn(emb, tree, depth, v) {
+							continue
+						}
+						if cons != nil && !cons.Allows(u, v, emb, matched) {
+							continue
+						}
+						// One recursive call per tree-edge expansion of an
+						// intermediate match (the paper's Figure 18 metric):
+						// non-tree-edge verification happens inside the
+						// call, so failed verifications still count — these
+						// are the false search paths CECI's NTE candidate
+						// intersection avoids exploring at all.
+						local++
+						if !verifyEdges(data, query, tree, emb, matched, u, v, up) {
+							continue
+						}
+						ext := make([]graph.VertexID, len(emb))
+						copy(ext, emb)
+						ext[u] = v
+						bins[w] = append(bins[w], ext)
+					}
+				}
+				if maxIntermediates > 0 {
+					delta := len(bins[w]) - prevLen
+					prevLen = len(bins[w])
+					if produced.Add(int64(delta)) > int64(maxIntermediates) {
+						abort.Store(int32(abortMemory))
+						break
+					}
+				}
+			}
+			atomic.AddInt64(&recursive, local)
+		}(w)
+	}
+	wg.Wait()
+	if opts.Stats != nil {
+		opts.Stats.RecursiveCalls.Add(recursive)
+	}
+
+	if reason := abortReason(abort.Load()); reason != abortNone {
+		return nil, reason
+	}
+	total := 0
+	for _, b := range bins {
+		total += len(b)
+	}
+	next = make([][]graph.VertexID, 0, total)
+	for _, b := range bins {
+		next = append(next, b...)
+	}
+	return next, abortNone
+}
+
+func usedIn(emb []graph.VertexID, tree *order.QueryTree, depth int, v graph.VertexID) bool {
+	for i := 0; i < depth; i++ {
+		if emb[tree.Order[i]] == v {
+			return true
+		}
+	}
+	return false
+}
+
+func verifyEdges(data, query *graph.Graph, tree *order.QueryTree,
+	emb []graph.VertexID, matched []bool, u, v, up graph.VertexID) bool {
+	for _, w := range query.Neighbors(u) {
+		if w == up || !matched[w] {
+			continue
+		}
+		if !data.HasEdge(emb[w], v) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAllLabels(g *graph.Graph, v graph.VertexID, labels []graph.Label) bool {
+	for _, l := range labels {
+		if !g.HasLabel(v, l) {
+			return false
+		}
+	}
+	return true
+}

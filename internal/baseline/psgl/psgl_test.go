@@ -1,0 +1,101 @@
+package psgl_test
+
+import (
+	"errors"
+	"testing"
+
+	"ceci/internal/baseline"
+	"ceci/internal/baseline/psgl"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+)
+
+func TestIntermediateGuardTriggers(t *testing.T) {
+	// A dense graph with a tiny cap must abort rather than materialize.
+	data := gen.ErdosRenyi(200, 4000, 1)
+	err := psgl.ForEachOpt(data, gen.QG3(), psgl.Options{MaxIntermediates: 100},
+		func([]graph.VertexID) bool { return true })
+	if !errors.Is(err, psgl.ErrIntermediatesExceeded) {
+		t.Fatalf("err = %v, want ErrIntermediatesExceeded", err)
+	}
+}
+
+func TestUnlimitedGuardDisabled(t *testing.T) {
+	data := gen.ErdosRenyi(50, 200, 2)
+	n1, err := psgl.Count(data, gen.QG1(), baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n2 int64
+	err = psgl.ForEachOpt(data, gen.QG1(), psgl.Options{MaxIntermediates: -1},
+		func([]graph.VertexID) bool { n2++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("guarded %d != unguarded %d", n1, n2)
+	}
+}
+
+func TestMeasureMatchesCount(t *testing.T) {
+	data := gen.ErdosRenyi(100, 400, 3)
+	for _, q := range []*graph.Graph{gen.QG1(), gen.QG2(), gen.QG4()} {
+		want, err := psgl.Count(data, q, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		levels, got, err := psgl.Measure(data, q, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("measure count %d != count %d", got, want)
+		}
+		if len(levels) != q.NumVertices() {
+			t.Fatalf("levels = %d, want %d", len(levels), q.NumVertices())
+		}
+		if levels[0].Intermediates == 0 && want > 0 {
+			t.Fatal("level 0 recorded no candidates")
+		}
+	}
+}
+
+func TestSimulateMakespanBarriers(t *testing.T) {
+	levels := []psgl.LevelCost{
+		{Level: 0, Intermediates: 1000, Duration: 1000},
+		{Level: 1, Intermediates: 10, Duration: 100},
+	}
+	one := psgl.SimulateMakespan(levels, 1)
+	if one != 1100 {
+		t.Fatalf("1 worker = %v, want 1100", one)
+	}
+	// With massive parallelism, each level still costs at least one
+	// chunk round: the barrier floor.
+	many := psgl.SimulateMakespan(levels, 1<<20)
+	if many <= 0 || many >= one {
+		t.Fatalf("parallel makespan %v not in (0, %v)", many, one)
+	}
+	// More workers never slower.
+	prev := one
+	for _, k := range []int{2, 4, 8, 64} {
+		cur := psgl.SimulateMakespan(levels, k)
+		if cur > prev {
+			t.Fatalf("makespan grew at k=%d: %v > %v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPsglMatchesOracleSmall(t *testing.T) {
+	data := gen.Fig1Data()
+	query := gen.Fig1Query()
+	want := reference.Count(data, query, reference.Options{})
+	got, err := psgl.Count(data, query, baseline.Options{DisableSymmetryBreaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}

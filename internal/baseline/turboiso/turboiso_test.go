@@ -1,0 +1,109 @@
+package turboiso_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceci/internal/auto"
+	"ceci/internal/baseline"
+	"ceci/internal/baseline/turboiso"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+	"ceci/internal/stats"
+)
+
+func TestRegionExplorationSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		data := randomLabeled(rng, 16, 45, 3)
+		query, err := gen.DFSQuery(data, 3+rng.Intn(3), rng)
+		if err != nil {
+			continue
+		}
+		want := reference.Count(data, query, reference.Options{Constraints: auto.Compute(query)})
+		for _, boosted := range []bool{false, true} {
+			got, err := turboiso.Count(data, query, turboiso.Options{Boosted: boosted})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d boosted=%v: got %d want %d", trial, boosted, got, want)
+			}
+		}
+	}
+}
+
+func TestBoostedSharesRegions(t *testing.T) {
+	// A graph where many root candidates have identical adjacency: a
+	// star with k identical leaves. Boosted mode must explore one region
+	// for the whole leaf group but still list each embedding.
+	b := graph.NewBuilder(0)
+	center := b.AddVertex(0)
+	mid := b.AddVertex(1)
+	b.AddEdge(center, mid)
+	for i := 0; i < 10; i++ {
+		leaf := b.AddVertex(2)
+		b.AddEdge(mid, leaf)
+	}
+	data := b.MustBuild()
+
+	// Query: path 2-1-0 (leaf, mid, center labels).
+	qb := graph.NewBuilder(0)
+	q0 := qb.AddVertex(2)
+	q1 := qb.AddVertex(1)
+	q2 := qb.AddVertex(0)
+	qb.AddEdge(q0, q1)
+	qb.AddEdge(q1, q2)
+	query := qb.MustBuild()
+
+	plain, err := turboiso.Count(data, query, turboiso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := turboiso.Count(data, query, turboiso.Options{Boosted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != 10 || boosted != 10 {
+		t.Fatalf("plain=%d boosted=%d, want 10 each", plain, boosted)
+	}
+}
+
+func TestStatsRecorded(t *testing.T) {
+	st := &stats.Counters{}
+	data := gen.Fig1Data()
+	n, err := turboiso.Count(data, gen.Fig1Query(), turboiso.Options{
+		Options: baseline.Options{Stats: st},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if st.RecursiveCalls.Load() == 0 {
+		t.Fatal("no recursive calls recorded")
+	}
+	if st.EdgeVerifications.Load() == 0 {
+		t.Fatal("no edge probes recorded (Fig1 query has two non-tree edges)")
+	}
+}
+
+func randomLabeled(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(labels)))
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}

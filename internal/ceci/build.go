@@ -1,0 +1,302 @@
+package ceci
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/setops"
+)
+
+// Build constructs the CECI for (data, tree) following Algorithm 1:
+// BFS-ordered frontier expansion with label / degree / NLC filters for
+// both tree-edge and non-tree-edge candidates, empty-entry cascade
+// deletion, and (unless disabled) the reverse-BFS refinement of
+// Algorithm 2.
+func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
+	if opts.RefineRounds <= 0 {
+		opts.RefineRounds = 1
+	}
+	ix := &Index{
+		Data:  data,
+		Tree:  tree,
+		Nodes: make([]Node, tree.NumVertices()),
+		opts:  opts,
+	}
+	ix.indexNTEChildren()
+
+	// Root candidates = cluster pivots.
+	root := tree.Root
+	if opts.Pivots != nil {
+		pivots := make([]graph.VertexID, len(opts.Pivots))
+		copy(pivots, opts.Pivots)
+		ix.Nodes[root].Cands = pivots
+	} else {
+		var pivots []graph.VertexID
+		order.ForEachCandidate(data, tree.Query, root, func(v graph.VertexID) {
+			pivots = append(pivots, v)
+		})
+		ix.Nodes[root].Cands = pivots
+	}
+
+	// Expand every non-root query vertex in matching order: first its
+	// tree edge, then each incoming non-tree edge.
+	for _, u := range tree.Order[1:] {
+		ix.buildTE(u)
+		ix.buildNTE(u)
+	}
+
+	if opts.SkipRefinement {
+		ix.optimisticCardinalities()
+	} else {
+		for round := 0; round < opts.RefineRounds; round++ {
+			ix.refine()
+		}
+	}
+	if opts.Stats != nil {
+		opts.Stats.IndexBytes.Store(ix.SizeBytes())
+	}
+	return ix
+}
+
+func (ix *Index) indexNTEChildren() {
+	tree := ix.Tree
+	ix.nteChildIdx = make([][]nteRef, tree.NumVertices())
+	for u := 0; u < tree.NumVertices(); u++ {
+		ix.Nodes[u].NTE = make([]CandMap, len(tree.NTEParents[u]))
+		for j, p := range tree.NTEParents[u] {
+			ix.nteChildIdx[p] = append(ix.nteChildIdx[p], nteRef{child: graph.VertexID(u), slot: j})
+		}
+	}
+}
+
+func (ix *Index) workers() int {
+	if ix.opts.Workers > 0 {
+		return ix.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the index's worker
+// budget, pulling fixed-size chunks from a shared cursor — the paper's
+// pull-based dynamic distribution with per-thread private bins (§3.6):
+// workers write only to their own output slots.
+func (ix *Index) parallelFor(n int, fn func(i int)) {
+	workers := ix.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	const chunk = 32
+	var cursor int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&cursor, chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildTE expands the frontier of u's parent, filtering neighbors into
+// TE_Candidates of u (Algorithm 1). Frontier vertices whose expansion
+// yields no candidate are cascaded out of the index.
+func (ix *Index) buildTE(u graph.VertexID) {
+	tree := ix.Tree
+	up := graph.VertexID(tree.Parent[u])
+	frontier := ix.Nodes[up].Cands
+
+	values := make([][]graph.VertexID, len(frontier))
+	ix.parallelFor(len(frontier), func(i int) {
+		values[i] = ix.filterNeighbors(frontier[i], u)
+	})
+
+	node := &ix.Nodes[u]
+	var dead []graph.VertexID
+	for i, vf := range frontier {
+		if len(values[i]) == 0 {
+			// No tree-edge candidate under vf: vf cannot match up
+			// (Algorithm 1 lines 9-12).
+			dead = append(dead, vf)
+			if ix.opts.Stats != nil {
+				ix.opts.Stats.FilteredCascade.Add(1)
+			}
+			continue
+		}
+		node.TE.AppendKey(vf, values[i])
+	}
+	node.Cands = node.TE.ValueUnion()
+	for _, vf := range dead {
+		ix.removeCandidate(up, vf)
+	}
+}
+
+// buildNTE fills, for each non-tree edge (un, u), the NTE_Candidates of u
+// keyed by un's candidates. Values are the intersection of the key's data
+// adjacency with u's candidate set — neighbors failing the label/degree/
+// NLC filters are already absent from Cands, so no re-filtering is needed.
+func (ix *Index) buildNTE(u graph.VertexID) {
+	tree := ix.Tree
+	node := &ix.Nodes[u]
+	for j, un := range tree.NTEParents[u] {
+		frontier := ix.Nodes[un].Cands
+		values := make([][]graph.VertexID, len(frontier))
+		ix.parallelFor(len(frontier), func(i int) {
+			values[i] = setops.Intersect(nil, ix.Data.Neighbors(frontier[i]), node.Cands)
+		})
+		if ix.opts.Stats != nil {
+			ix.opts.Stats.IntersectionOps.Add(int64(len(frontier)))
+			ix.opts.Stats.RemoteReads.Add(int64(len(frontier)))
+		}
+		for i, vn := range frontier {
+			if len(values[i]) > 0 {
+				node.NTE[j].AppendKey(vn, values[i])
+			}
+		}
+	}
+}
+
+// filterNeighbors applies the label, degree, and NLC filters (Section
+// 3.2) to the neighbors of vf, returning survivors sorted ascending.
+func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.VertexID {
+	q := ix.Tree.Query
+	data := ix.Data
+	qLabels := q.Labels(u)
+	qDeg := q.Degree(u)
+	qSig := graph.NLCOf(q, u)
+	st := ix.opts.Stats
+	if st != nil {
+		st.RemoteReads.Add(1) // one adjacency-list fetch per frontier vertex
+	}
+
+	var out []graph.VertexID
+	for _, v := range data.Neighbors(vf) {
+		// Label filter.
+		okLabel := true
+		for _, l := range qLabels {
+			if !data.HasLabel(v, l) {
+				okLabel = false
+				break
+			}
+		}
+		if !okLabel {
+			if st != nil {
+				st.FilteredLabel.Add(1)
+			}
+			continue
+		}
+		// Degree filter.
+		if !ix.opts.SkipDegreeFilter && data.Degree(v) < qDeg {
+			if st != nil {
+				st.FilteredDegree.Add(1)
+			}
+			continue
+		}
+		// Neighborhood label count filter.
+		if !ix.opts.SkipNLCFilter && !data.NLC(v).Covers(qSig) {
+			if st != nil {
+				st.FilteredNLC.Add(1)
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	// data.Neighbors is sorted, so out is sorted.
+	return out
+}
+
+// removeCandidate deletes data vertex v from query vertex u's candidate
+// structures and cascades: the key v disappears from every already-built
+// child structure keyed by u's candidates, and if removing v empties a TE
+// value list of u, the corresponding parent key is removed recursively.
+func (ix *Index) removeCandidate(u graph.VertexID, v graph.VertexID) {
+	node := &ix.Nodes[u]
+	// Drop from the candidate union.
+	i := sort.Search(len(node.Cands), func(i int) bool { return node.Cands[i] >= v })
+	if i == len(node.Cands) || node.Cands[i] != v {
+		return // already removed
+	}
+	node.Cands = append(node.Cands[:i], node.Cands[i+1:]...)
+
+	// Drop v wherever it appears as a value of u's own structures.
+	var emptied []graph.VertexID
+	emptied = node.TE.DeleteValue(v, emptied)
+	for j := range node.NTE {
+		node.NTE[j].DeleteValue(v, nil)
+	}
+
+	// Drop the key v from children keyed by u's candidates.
+	tree := ix.Tree
+	for _, uc := range tree.Children[u] {
+		ix.Nodes[uc].TE.Delete(v)
+	}
+	for _, ref := range ix.nteChildIdx[u] {
+		ix.Nodes[ref.child].NTE[ref.slot].Delete(v)
+	}
+	if node.Card != nil {
+		delete(node.Card, v)
+	}
+
+	// A TE key of u whose value list became empty means that parent
+	// candidate can no longer match u's parent: cascade upward.
+	if tree.Parent[u] != order.NoParent {
+		up := graph.VertexID(tree.Parent[u])
+		for _, key := range emptied {
+			node.TE.Delete(key)
+			ix.removeCandidate(up, key)
+		}
+	}
+}
+
+// optimisticCardinalities fills Card from TE sizes without pruning; used
+// when refinement is disabled so FGD decomposition still has a signal.
+func (ix *Index) optimisticCardinalities() {
+	tree := ix.Tree
+	for i := len(tree.Order) - 1; i >= 0; i-- {
+		u := tree.Order[i]
+		node := &ix.Nodes[u]
+		node.Card = make(map[graph.VertexID]int64, len(node.Cands))
+		if len(tree.Children[u]) == 0 {
+			for _, v := range node.Cands {
+				node.Card[v] = 1
+			}
+			continue
+		}
+		for _, v := range node.Cands {
+			card := int64(1)
+			for _, uc := range tree.Children[u] {
+				var sum int64
+				for _, vc := range ix.Nodes[uc].TE.Get(v) {
+					sum = satAdd(sum, ix.Nodes[uc].Card[vc])
+				}
+				card = satMul(card, sum)
+				if card == 0 {
+					break
+				}
+			}
+			node.Card[v] = card
+		}
+	}
+}

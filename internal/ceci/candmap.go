@@ -1,0 +1,115 @@
+package ceci
+
+import (
+	"sort"
+
+	"ceci/internal/graph"
+	"ceci/internal/setops"
+)
+
+// CandMap is the key-value structure backing TE_Candidates and
+// NTE_Candidates (Section 3.1): keys are candidates of the parent (or
+// NTE-neighbor) query vertex, values are the sorted candidates of the
+// child adjacent to that key. Keys are kept sorted so lookups are binary
+// searches, mirroring the paper's sorted-vector implementation (§3.6).
+type CandMap struct {
+	keys []graph.VertexID
+	vals [][]graph.VertexID
+}
+
+// Len returns the number of live keys.
+func (m *CandMap) Len() int { return len(m.keys) }
+
+// Get returns the value list for key, or nil.
+func (m *CandMap) Get(key graph.VertexID) []graph.VertexID {
+	i := m.search(key)
+	if i < len(m.keys) && m.keys[i] == key {
+		return m.vals[i]
+	}
+	return nil
+}
+
+func (m *CandMap) search(key graph.VertexID) int {
+	return sort.Search(len(m.keys), func(i int) bool { return m.keys[i] >= key })
+}
+
+// AppendKey adds (key, values) assuming key is strictly greater than every
+// existing key — the natural case during construction, where frontiers are
+// expanded in ascending order. values must be sorted.
+func (m *CandMap) AppendKey(key graph.VertexID, values []graph.VertexID) {
+	if n := len(m.keys); n > 0 && m.keys[n-1] >= key {
+		m.insertKey(key, values)
+		return
+	}
+	m.keys = append(m.keys, key)
+	m.vals = append(m.vals, values)
+}
+
+func (m *CandMap) insertKey(key graph.VertexID, values []graph.VertexID) {
+	i := m.search(key)
+	if i < len(m.keys) && m.keys[i] == key {
+		m.vals[i] = values
+		return
+	}
+	m.keys = append(m.keys, 0)
+	m.vals = append(m.vals, nil)
+	copy(m.keys[i+1:], m.keys[i:])
+	copy(m.vals[i+1:], m.vals[i:])
+	m.keys[i] = key
+	m.vals[i] = values
+}
+
+// Delete removes key (no-op if absent).
+func (m *CandMap) Delete(key graph.VertexID) {
+	i := m.search(key)
+	if i == len(m.keys) || m.keys[i] != key {
+		return
+	}
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+}
+
+// DeleteValue removes vertex v from every value list, returning the keys
+// whose lists became empty (callers cascade those deletions).
+func (m *CandMap) DeleteValue(v graph.VertexID, emptied []graph.VertexID) []graph.VertexID {
+	for i := range m.keys {
+		lst := m.vals[i]
+		j := sort.Search(len(lst), func(k int) bool { return lst[k] >= v })
+		if j < len(lst) && lst[j] == v {
+			m.vals[i] = append(lst[:j], lst[j+1:]...)
+			if len(m.vals[i]) == 0 {
+				emptied = append(emptied, m.keys[i])
+			}
+		}
+	}
+	return emptied
+}
+
+// ForEach visits live (key, values) pairs in ascending key order.
+func (m *CandMap) ForEach(fn func(key graph.VertexID, values []graph.VertexID)) {
+	for i := range m.keys {
+		fn(m.keys[i], m.vals[i])
+	}
+}
+
+// Keys returns the sorted key slice (aliases internal storage).
+func (m *CandMap) Keys() []graph.VertexID { return m.keys }
+
+// ValueUnion returns the sorted union of all value lists.
+func (m *CandMap) ValueUnion() []graph.VertexID {
+	lists := make([][]uint32, len(m.vals))
+	for i, v := range m.vals {
+		lists[i] = v
+	}
+	return setops.UnionMany(lists)
+}
+
+// CandidateEdges counts the (key, value) pairs, i.e. candidate data edges
+// — the unit of the paper's Table 2 size accounting.
+func (m *CandMap) CandidateEdges() int64 {
+	var n int64
+	for _, v := range m.vals {
+		n += int64(len(v))
+	}
+	return n
+}

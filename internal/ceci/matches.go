@@ -1,0 +1,72 @@
+package ceci
+
+import (
+	"ceci/internal/graph"
+	"ceci/internal/setops"
+)
+
+// MatchScratch holds per-depth reusable buffers for CandidatesFor. Each
+// enumeration worker keeps one scratch per backtracking depth so results
+// remain valid while deeper levels recurse.
+type MatchScratch struct {
+	S     setops.Scratch
+	lists [][]uint32
+}
+
+// CandidatesFor returns the matching nodes for query vertex u given the
+// partial embedding m (indexed by query vertex ID): the intersection of
+// u's TE candidates under the matched parent with each NTE candidate list
+// under the matched non-tree parents (Section 4). The parent and every
+// NTE parent of u must already be assigned in m.
+//
+// The returned slice may alias index storage or scratch buffers: it is
+// valid only until the next CandidatesFor call with the same scratch, and
+// must not be modified.
+func (ix *Index) CandidatesFor(u graph.VertexID, m []graph.VertexID, sc *MatchScratch) []graph.VertexID {
+	tree := ix.Tree
+	node := &ix.Nodes[u]
+	base := node.TE.Get(m[tree.Parent[u]])
+	if len(base) == 0 {
+		return nil
+	}
+	if len(node.NTE) == 0 {
+		return base
+	}
+	lists := sc.lists[:0]
+	lists = append(lists, base)
+	for j, un := range tree.NTEParents[u] {
+		l := node.NTE[j].Get(m[un])
+		if len(l) == 0 {
+			sc.lists = lists
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	sc.lists = lists
+	if ix.opts.Stats != nil {
+		ix.opts.Stats.IntersectionOps.Add(int64(len(lists) - 1))
+	}
+	return setops.IntersectK(&sc.S, lists)
+}
+
+// CandidatesForEdgeVerify is the ablation variant (Section 4.1, Lemma 2):
+// it returns only the TE candidates and leaves non-tree edges to be
+// verified by adjacency probes, the way TurboIso/CFLMatch-style systems
+// operate. VerifyNTE performs those probes.
+func (ix *Index) CandidatesForEdgeVerify(u graph.VertexID, m []graph.VertexID) []graph.VertexID {
+	return ix.Nodes[u].TE.Get(m[ix.Tree.Parent[u]])
+}
+
+// VerifyNTE checks v against every non-tree edge of u by binary-search
+// adjacency probes on the data graph.
+func (ix *Index) VerifyNTE(u graph.VertexID, v graph.VertexID, m []graph.VertexID) bool {
+	for _, un := range ix.Tree.NTEParents[u] {
+		if ix.opts.Stats != nil {
+			ix.opts.Stats.EdgeVerifications.Add(1)
+		}
+		if !ix.Data.HasEdge(m[un], v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,483 @@
+// Package cluster simulates the paper's distributed CECI deployment
+// (Section 5) on a single host: machines are goroutine ensembles with
+// explicit message and IO accounting, so the distributed experiments
+// (Figures 16, 17, 20) can be reproduced without MPI or a lustre
+// filesystem.
+//
+// What is faithful to the paper:
+//
+//   - two graph-placement modes: Replicated (every machine holds the data
+//     graph; Figure 16) and SharedStorage (one CSR copy behind a
+//     latency-charged accessor; Figure 17);
+//   - pivot distribution by the light-weight workload estimate of §5
+//     (degree + neighbor degrees when the graph is local, degree only
+//     when it is not), scaled by (|V|-v)/|V| to account for the
+//     automorphism-breaking order;
+//   - Jaccard-similarity co-location of overlapping clusters (replicated
+//     mode only, top-K largest clusters, J >= 0.5);
+//   - per-machine CECI construction over the machine's pivot partition;
+//   - work stealing from the machine with the most unexplored clusters,
+//     modeled as a one-sided read of the victim's queue and index (the
+//     MPI_Get of the paper);
+//   - result accumulation to machine 0.
+//
+// What is modeled rather than physical: network latency/bandwidth and
+// shared-storage read cost are charged to per-machine cost ledgers
+// (Ledger) instead of being slept away, so experiments report both the
+// measured compute time and the modeled IO/communication components —
+// exactly the breakdown Figure 20 plots.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceci/internal/auto"
+	"ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/setops"
+	"ceci/internal/stats"
+	"ceci/internal/workload"
+)
+
+// Mode selects graph placement.
+type Mode int
+
+const (
+	// Replicated loads the whole data graph into every machine's memory
+	// (the Figure 16 configuration).
+	Replicated Mode = iota
+	// SharedStorage keeps one CSR on networked storage; every adjacency
+	// fetch during CECI construction pays the remote-read cost (the
+	// Figure 17 configuration).
+	SharedStorage
+)
+
+func (m Mode) String() string {
+	if m == SharedStorage {
+		return "shared-storage"
+	}
+	return "replicated"
+}
+
+// Config describes the simulated deployment.
+type Config struct {
+	// Machines is the number of simulated machines (paper: 1–16).
+	Machines int
+	// WorkersPerMachine is the per-machine thread count (paper: 4).
+	WorkersPerMachine int
+	// Mode selects Replicated or SharedStorage placement.
+	Mode Mode
+	// RemoteReadLatency is charged per adjacency fetch in SharedStorage
+	// mode (default 5µs, a contended networked read).
+	RemoteReadLatency time.Duration
+	// MessageLatency is charged per control message (default 50µs).
+	MessageLatency time.Duration
+	// BytesPerSecond models storage/network bandwidth for bulk transfers
+	// (default 1 GiB/s).
+	BytesPerSecond float64
+	// Jaccard enables similarity-based co-location (replicated only).
+	Jaccard bool
+	// JaccardTopK bounds how many of the largest clusters are compared
+	// (default 1000, as in the paper).
+	JaccardTopK int
+	// Beta is the FGD ExtremeCluster threshold within each machine.
+	Beta float64
+	// Stats receives global counters (may be nil).
+	Stats *stats.Counters
+}
+
+func (c *Config) defaults() error {
+	if c.Machines <= 0 {
+		return errors.New("cluster: Machines must be positive")
+	}
+	if c.WorkersPerMachine <= 0 {
+		c.WorkersPerMachine = 4
+	}
+	if c.RemoteReadLatency <= 0 {
+		c.RemoteReadLatency = 5 * time.Microsecond
+	}
+	if c.MessageLatency <= 0 {
+		c.MessageLatency = 50 * time.Microsecond
+	}
+	if c.BytesPerSecond <= 0 {
+		c.BytesPerSecond = 1 << 30
+	}
+	if c.JaccardTopK <= 0 {
+		c.JaccardTopK = 1000
+	}
+	return nil
+}
+
+// Ledger is a per-machine cost account combining measured wall time with
+// modeled IO and communication charges.
+type Ledger struct {
+	BuildCompute time.Duration // measured: CECI construction CPU
+	BuildIO      time.Duration // modeled: remote reads (SharedStorage) or initial graph load (Replicated)
+	Comm         time.Duration // modeled: pivot distribution, steals, result accumulation
+	Enumerate    time.Duration // measured: embedding enumeration wall time
+	Pivots       int           // clusters assigned initially
+	Stolen       int           // clusters obtained by stealing
+	Embeddings   int64
+	RemoteReads  int64
+	MessagesSent int64
+}
+
+// Total returns the machine's end-to-end modeled time.
+func (l *Ledger) Total() time.Duration {
+	return l.BuildCompute + l.BuildIO + l.Comm + l.Enumerate
+}
+
+// Result is the outcome of a simulated distributed run.
+type Result struct {
+	Embeddings int64
+	Machines   []Ledger
+	// Makespan is the slowest machine's total modeled time — the quantity
+	// whose inverse scaling Figures 16/17 plot.
+	Makespan time.Duration
+	// Steals counts successful work-steal transfers.
+	Steals int64
+}
+
+// Run executes the distributed subgraph listing simulation.
+func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cons := auto.Compute(query)
+
+	// Coordinator: collect pivots and distribute them by the §5
+	// light-weight workload estimate.
+	var pivots []graph.VertexID
+	order.ForEachCandidate(data, query, tree.Root, func(v graph.VertexID) {
+		pivots = append(pivots, v)
+	})
+	parts := distributePivots(data, pivots, cfg)
+
+	res := &Result{Machines: make([]Ledger, cfg.Machines)}
+	machines := make([]*machine, cfg.Machines)
+	for i := range machines {
+		machines[i] = &machine{
+			id:     i,
+			cfg:    &cfg,
+			data:   data,
+			tree:   tree,
+			cons:   cons,
+			ledger: &res.Machines[i],
+		}
+	}
+	// Shared steal registry: pending (machine, pivot-queue) state.
+	reg := &stealRegistry{queues: make([]pivotQueue, cfg.Machines)}
+	for i, p := range parts {
+		reg.queues[i].pivots = p
+		res.Machines[i].Pivots = len(p)
+		// Pivot distribution: one message per machine plus payload bytes.
+		res.Machines[i].Comm += cfg.MessageLatency +
+			time.Duration(float64(len(p)*4)/cfg.BytesPerSecond*float64(time.Second))
+		res.Machines[i].MessagesSent++
+	}
+
+	var total atomic.Int64
+	var steals atomic.Int64
+	var wg sync.WaitGroup
+	for _, m := range machines {
+		wg.Add(1)
+		go func(m *machine) {
+			defer wg.Done()
+			m.run(reg, &total, &steals)
+		}(m)
+	}
+	wg.Wait()
+
+	// Result accumulation to machine 0: one message per other machine.
+	for i := 1; i < cfg.Machines; i++ {
+		res.Machines[i].Comm += cfg.MessageLatency
+		res.Machines[i].MessagesSent++
+	}
+
+	res.Embeddings = total.Load()
+	res.Steals = steals.Load()
+	for i := range res.Machines {
+		if t := res.Machines[i].Total(); t > res.Makespan {
+			res.Makespan = t
+		}
+	}
+	if cfg.Stats != nil {
+		cfg.Stats.AddEmbeddings(res.Embeddings)
+		cfg.Stats.StealAttempts.Add(res.Steals)
+	}
+	return res, nil
+}
+
+// distributePivots assigns pivots to machines by greedy largest-first bin
+// packing on the light-weight workload estimate, then optionally
+// co-locates Jaccard-similar clusters.
+func distributePivots(data *graph.Graph, pivots []graph.VertexID, cfg Config) [][]graph.VertexID {
+	type wp struct {
+		v graph.VertexID
+		w float64
+	}
+	n := float64(data.NumVertices())
+	weighted := make([]wp, len(pivots))
+	for i, v := range pivots {
+		w := float64(data.Degree(v))
+		if cfg.Mode == Replicated {
+			// Neighbor information is local: deg(v) + Σ deg(neighbors).
+			for _, u := range data.Neighbors(v) {
+				w += float64(data.Degree(u))
+			}
+		}
+		// Scale by vertex ID to account for the asymmetry inflicted by
+		// automorphism-breaking orders (§5).
+		w *= (n - float64(v)) / n
+		weighted[i] = wp{v, w}
+	}
+	sort.Slice(weighted, func(i, j int) bool { return weighted[i].w > weighted[j].w })
+
+	loads := make([]float64, cfg.Machines)
+	owner := make(map[graph.VertexID]int, len(pivots))
+	assign := func(v graph.VertexID, w float64, machine int) {
+		owner[v] = machine
+		loads[machine] += w
+	}
+	argminLoad := func() int {
+		best := 0
+		for i := 1; i < cfg.Machines; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	var maxLoad float64
+	for _, p := range weighted {
+		maxLoad += p.w
+	}
+	maxLoad = maxLoad / float64(cfg.Machines) * 1.25 // co-location capacity cap
+
+	if cfg.Jaccard && cfg.Mode == Replicated {
+		// Pass 1: largest clusters pull their similar peers along.
+		topK := cfg.JaccardTopK
+		if topK > len(weighted) {
+			topK = len(weighted)
+		}
+		for i := 0; i < topK; i++ {
+			v := weighted[i].v
+			if _, done := owner[v]; done {
+				continue
+			}
+			m := argminLoad()
+			assign(v, weighted[i].w, m)
+			for j := i + 1; j < topK; j++ {
+				u := weighted[j].v
+				if _, done := owner[u]; done {
+					continue
+				}
+				if loads[m]+weighted[j].w > maxLoad {
+					break
+				}
+				if jaccard(data, v, u) >= 0.5 {
+					assign(u, weighted[j].w, m)
+				}
+			}
+		}
+	}
+	for _, p := range weighted {
+		if _, done := owner[p.v]; !done {
+			assign(p.v, p.w, argminLoad())
+		}
+	}
+
+	parts := make([][]graph.VertexID, cfg.Machines)
+	for _, p := range weighted {
+		m := owner[p.v]
+		parts[m] = append(parts[m], p.v)
+	}
+	for _, p := range parts {
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	}
+	return parts
+}
+
+// jaccard returns |N(a) ∩ N(b)| / |N(a) ∪ N(b)|.
+func jaccard(data *graph.Graph, a, b graph.VertexID) float64 {
+	na, nb := data.Neighbors(a), data.Neighbors(b)
+	if len(na) == 0 && len(nb) == 0 {
+		return 0
+	}
+	inter := setops.IntersectionSize(na, nb)
+	union := len(na) + len(nb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// pivotQueue is one machine's pending clusters, stealable by others.
+type pivotQueue struct {
+	mu     sync.Mutex
+	pivots []graph.VertexID
+	index  *ceci.Index // published after the owner builds it
+}
+
+func (q *pivotQueue) pop() (graph.VertexID, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pivots) == 0 {
+		return 0, false
+	}
+	v := q.pivots[len(q.pivots)-1]
+	q.pivots = q.pivots[:len(q.pivots)-1]
+	return v, true
+}
+
+func (q *pivotQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pivots)
+}
+
+type stealRegistry struct {
+	queues []pivotQueue
+}
+
+// victim returns the machine with the most unexplored clusters, excluding
+// self; ok is false when everything is drained.
+func (r *stealRegistry) victim(self int) (int, bool) {
+	best, bestSize := -1, 0
+	for i := range r.queues {
+		if i == self {
+			continue
+		}
+		if s := r.queues[i].size(); s > bestSize {
+			best, bestSize = i, s
+		}
+	}
+	return best, best >= 0
+}
+
+type machine struct {
+	id     int
+	cfg    *Config
+	data   *graph.Graph
+	tree   *order.QueryTree
+	cons   *auto.Constraints
+	ledger *Ledger
+}
+
+func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.Int64) {
+	q := &reg.queues[m.id]
+
+	// Phase 1: build the local CECI over this machine's pivot partition.
+	st := &stats.Counters{}
+	start := time.Now()
+	q.mu.Lock()
+	myPivots := append([]graph.VertexID(nil), q.pivots...)
+	q.mu.Unlock()
+	var ix *ceci.Index
+	if len(myPivots) > 0 {
+		ix = ceci.Build(m.data, m.tree, ceci.Options{
+			Workers: m.cfg.WorkersPerMachine,
+			Pivots:  myPivots,
+			Stats:   st,
+		})
+	}
+	m.ledger.BuildCompute = time.Since(start)
+	m.ledger.RemoteReads = st.RemoteReads.Load()
+
+	switch m.cfg.Mode {
+	case SharedStorage:
+		// Every adjacency fetch paid the remote-read cost.
+		m.ledger.BuildIO = time.Duration(m.ledger.RemoteReads) * m.cfg.RemoteReadLatency
+	case Replicated:
+		// One bulk load of the CSR into local memory.
+		bytes := float64(m.data.BytesEstimate())
+		m.ledger.BuildIO = time.Duration(bytes / m.cfg.BytesPerSecond * float64(time.Second))
+	}
+
+	q.mu.Lock()
+	q.index = ix
+	q.mu.Unlock()
+
+	// Phase 2: enumerate local clusters, then steal.
+	enumStart := time.Now()
+	var found int64
+	runPivot := func(ix *ceci.Index, pivot graph.VertexID) {
+		sub := restrictIndex(ix, pivot)
+		matcher := enum.NewMatcher(sub, enum.Options{
+			Workers:  m.cfg.WorkersPerMachine,
+			Strategy: workload.FGD,
+			Beta:     m.cfg.Beta,
+		})
+		found += matcher.Count()
+	}
+	for {
+		pivot, ok := q.pop()
+		if !ok {
+			break
+		}
+		if ix != nil {
+			runPivot(ix, pivot)
+		}
+	}
+	// Work stealing: one-sided reads of the victim's queue and index.
+	for {
+		victim, ok := reg.victim(m.id)
+		if !ok {
+			break
+		}
+		vq := &reg.queues[victim]
+		vq.mu.Lock()
+		vix := vq.index
+		vq.mu.Unlock()
+		if vix == nil {
+			// The victim is still building its CECI; its clusters are
+			// not stealable yet.
+			runtime.Gosched()
+			continue
+		}
+		pivot, ok := vq.pop()
+		if !ok {
+			continue
+		}
+		m.ledger.Comm += m.cfg.MessageLatency // the MPI_Get
+		m.ledger.MessagesSent++
+		m.ledger.Stolen++
+		steals.Add(1)
+		runPivot(vix, pivot)
+	}
+	m.ledger.Enumerate = time.Since(enumStart)
+	m.ledger.Embeddings = found
+	total.Add(found)
+}
+
+// restrictIndex views ix through a single pivot without copying: the
+// enumerator only reads Cands of the root to seed clusters, so a shallow
+// clone with a one-element root candidate list suffices.
+func restrictIndex(ix *ceci.Index, pivot graph.VertexID) *ceci.Index {
+	clone := *ix
+	clone.Nodes = append([]ceci.Node(nil), ix.Nodes...)
+	root := ix.Tree.Root
+	node := clone.Nodes[root]
+	node.Cands = []graph.VertexID{pivot}
+	clone.Nodes[root] = node
+	return &clone
+}
+
+// String renders a result summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("cluster{embeddings=%d machines=%d makespan=%v steals=%d}",
+		r.Embeddings, len(r.Machines), r.Makespan, r.Steals)
+}

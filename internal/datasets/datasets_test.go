@@ -1,0 +1,76 @@
+package datasets_test
+
+import (
+	"testing"
+
+	"ceci/internal/datasets"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	specs := datasets.Catalog()
+	if len(specs) != 10 {
+		t.Fatalf("catalog has %d entries, want the 10 Table 1 rows", len(specs))
+	}
+	abbrs := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.Abbr == "" || s.PaperName == "" || s.Make == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		abbrs[s.Abbr] = true
+	}
+	for _, want := range []string{"CP", "FS", "HU", "LJ", "OK", "WG", "WT", "YH", "YT", "RD"} {
+		if !abbrs[want] {
+			t.Fatalf("missing paper dataset %s", want)
+		}
+	}
+}
+
+func TestGetByNameAndAbbr(t *testing.T) {
+	byName, err := datasets.Get("lj_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAbbr, err := datasets.Get("LJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Name != byAbbr.Name {
+		t.Fatal("name and abbreviation resolve differently")
+	}
+	if _, err := datasets.Get("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLoadCachesAndLabels(t *testing.T) {
+	a, err := datasets.Load("wt_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := datasets.Load("wt_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("load did not cache")
+	}
+	// Labeled datasets must actually carry labels.
+	rd, err := datasets.Load("rd_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumLabels() < 50 {
+		t.Fatalf("rd_s has %d labels, want ~100", rd.NumLabels())
+	}
+	spec, _ := datasets.Get("hu_s")
+	if !spec.MultiLabel {
+		t.Fatal("hu_s should be multi-labeled")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := datasets.Names()
+	if len(names) != 10 || names[0] != "cp_s" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,214 @@
+// Package enum implements CECI's parallel embedding enumeration
+// (Section 4): intersection-based backtracking over embedding clusters,
+// scheduled by the ST / CGD / FGD strategies of internal/workload, with
+// optional first-k limits (the paper's "first 1,024 embeddings" mode)
+// and an edge-verification ablation.
+package enum
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceci/internal/auto"
+	"ceci/internal/ceci"
+	"ceci/internal/graph"
+	"ceci/internal/stats"
+	"ceci/internal/workload"
+)
+
+// Options configures enumeration.
+type Options struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Limit stops after this many embeddings (0 = all). With multiple
+	// workers the count is exact but which embeddings are returned is
+	// nondeterministic, matching the paper's first-k experiments.
+	Limit int64
+	// Strategy selects workload distribution (default FGD).
+	Strategy workload.Strategy
+	// Beta is the ExtremeCluster threshold factor (default 0.2).
+	Beta float64
+	// EdgeVerification enables the ablation of Section 4.1: non-tree
+	// edges are checked by adjacency probes instead of intersection.
+	EdgeVerification bool
+	// DisableSymmetryBreaking lists every automorphic image (used by
+	// correctness tests comparing raw counts).
+	DisableSymmetryBreaking bool
+	// Stats and Clock receive instrumentation (may be nil).
+	Stats *stats.Counters
+	Clock *stats.WorkerClock
+}
+
+// Matcher enumerates the embeddings represented by a CECI index.
+type Matcher struct {
+	ix   *ceci.Index
+	cons *auto.Constraints
+	opts Options
+}
+
+// NewMatcher prepares enumeration over ix. Symmetry-breaking constraints
+// are derived from the query unless disabled.
+func NewMatcher(ix *ceci.Index, opts Options) *Matcher {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Beta <= 0 {
+		opts.Beta = workload.DefaultBeta
+	}
+	m := &Matcher{ix: ix, opts: opts}
+	if !opts.DisableSymmetryBreaking {
+		m.cons = auto.Compute(ix.Tree.Query)
+	}
+	return m
+}
+
+// Index returns the underlying CECI index.
+func (m *Matcher) Index() *ceci.Index { return m.ix }
+
+// Count enumerates and returns the number of embeddings (respecting
+// Limit if set).
+func (m *Matcher) Count() int64 {
+	var n atomic.Int64
+	m.ForEach(func([]graph.VertexID) bool {
+		n.Add(1)
+		return true
+	})
+	return n.Load()
+}
+
+// Collect gathers embeddings into a slice (each indexed by query vertex
+// ID). Intended for tests and small result sets; prefer ForEach for
+// large enumerations.
+func (m *Matcher) Collect() [][]graph.VertexID {
+	var mu sync.Mutex
+	var out [][]graph.VertexID
+	m.ForEach(func(emb []graph.VertexID) bool {
+		cp := make([]graph.VertexID, len(emb))
+		copy(cp, emb)
+		mu.Lock()
+		out = append(out, cp)
+		mu.Unlock()
+		return true
+	})
+	return out
+}
+
+// ForEach calls fn for every embedding. The slice passed to fn is indexed
+// by query vertex ID and reused between calls: copy it to retain it. fn
+// may be called concurrently from multiple workers and must be
+// goroutine-safe; returning false stops the enumeration early.
+func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
+	units := m.units()
+	if len(units) == 0 {
+		return
+	}
+	workers := m.opts.Workers
+	if workers > len(units) && m.opts.Strategy != workload.FGD {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctl := &control{fn: fn, limit: m.opts.Limit}
+
+	switch m.opts.Strategy {
+	case workload.ST:
+		groups := workload.Partition(units, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m.runWorker(w, ctl, func() (workload.Unit, bool) {
+					g := groups[w]
+					if len(g) == 0 {
+						return workload.Unit{}, false
+					}
+					groups[w] = g[1:]
+					return g[0], true
+				})
+			}(w)
+		}
+		wg.Wait()
+	default: // CGD, FGD
+		pool := workload.NewPool(units)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m.runWorker(w, ctl, pool.Next)
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// units materializes the schedulable work according to the strategy.
+func (m *Matcher) units() []workload.Unit {
+	switch m.opts.Strategy {
+	case workload.FGD:
+		return workload.Decompose(m.ix, m.cons, m.opts.Beta, m.opts.Workers)
+	default:
+		return workload.Clusters(m.ix)
+	}
+}
+
+// control carries the shared early-termination state.
+type control struct {
+	fn      func([]graph.VertexID) bool
+	limit   int64
+	emitted atomic.Int64
+	stop    atomic.Bool
+}
+
+// emit delivers one embedding; reports whether enumeration may continue.
+func (c *control) emit(emb []graph.VertexID) bool {
+	if c.limit > 0 {
+		n := c.emitted.Add(1)
+		if n > c.limit {
+			c.stop.Store(true)
+			return false
+		}
+		if !c.fn(emb) {
+			c.stop.Store(true)
+			return false
+		}
+		if n == c.limit {
+			c.stop.Store(true)
+			return false
+		}
+		return true
+	}
+	if !c.fn(emb) {
+		c.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+func (m *Matcher) runWorker(id int, ctl *control, next func() (workload.Unit, bool)) {
+	s := newSearcher(m, ctl)
+	start := time.Now()
+	defer func() {
+		if m.opts.Clock != nil {
+			m.opts.Clock.Add(id, time.Since(start))
+		}
+		s.flushStats()
+	}()
+	for {
+		if ctl.stop.Load() {
+			return
+		}
+		unit, ok := next()
+		if !ok {
+			return
+		}
+		if !s.runUnit(unit) {
+			return
+		}
+	}
+}

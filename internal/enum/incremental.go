@@ -1,0 +1,101 @@
+package enum
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ceci/internal/auto"
+	"ceci/internal/ceci"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/workload"
+)
+
+// ForEachIncremental enumerates embeddings cluster by cluster, building
+// each pivot's slice of the CECI on demand instead of indexing the whole
+// data graph up front. Embedding clusters are independent (that is the
+// core observation of the paper), so a per-cluster build touches only the
+// region reachable from its pivot — exactly the right trade for first-k
+// workloads (§6.2's 1,024-embedding experiments), where a monolithic
+// build would index far more of the graph than the enumeration ever
+// visits.
+//
+// Semantics match Matcher.ForEach: fn may run concurrently, the slice is
+// reused, returning false stops everything; eopts.Limit is honored
+// globally across clusters.
+func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
+	bopts ceci.Options, eopts Options, fn func(emb []graph.VertexID) bool) {
+
+	var pivots []graph.VertexID
+	order.ForEachCandidate(data, tree.Query, tree.Root, func(v graph.VertexID) {
+		pivots = append(pivots, v)
+	})
+	if len(pivots) == 0 {
+		return
+	}
+
+	workers := eopts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pivots) {
+		workers = len(pivots)
+	}
+	var cons *auto.Constraints
+	if !eopts.DisableSymmetryBreaking {
+		cons = auto.Compute(tree.Query)
+	}
+	ctl := &control{fn: fn, limit: eopts.Limit}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One matcher shell and searcher per worker; the index is
+			// swapped per cluster so buffers are reused.
+			shell := &Matcher{cons: cons, opts: eopts}
+			var s *searcher
+			defer func() {
+				if s != nil {
+					s.flushStats()
+				}
+			}()
+			pivotBuf := make([]graph.VertexID, 1)
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(len(pivots)) || ctl.stop.Load() {
+					return
+				}
+				pivotBuf[0] = pivots[i]
+				clusterOpts := bopts
+				clusterOpts.Workers = 1
+				clusterOpts.Pivots = pivotBuf
+				ix := ceci.Build(data, tree, clusterOpts)
+				if len(ix.Pivots()) == 0 {
+					continue // cluster died during filtering/refinement
+				}
+				shell.ix = ix
+				if s == nil {
+					s = newSearcher(shell, ctl)
+				}
+				if !s.runUnit(workload.Unit{Prefix: pivotBuf[:1]}) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// CountIncremental counts embeddings via ForEachIncremental.
+func CountIncremental(data *graph.Graph, tree *order.QueryTree, bopts ceci.Options, eopts Options) int64 {
+	var n atomic.Int64
+	ForEachIncremental(data, tree, bopts, eopts, func([]graph.VertexID) bool {
+		n.Add(1)
+		return true
+	})
+	return n.Load()
+}

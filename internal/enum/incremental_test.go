@@ -1,0 +1,87 @@
+package enum_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+)
+
+// TestIncrementalMatchesMonolithic: cluster-by-cluster lazy building must
+// produce exactly the same counts as the monolithic index, across random
+// labeled graphs and worker counts.
+func TestIncrementalMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 40; trial++ {
+		data := randomGraph(rng, 12+rng.Intn(10), 25+rng.Intn(30), 1+rng.Intn(3))
+		query, err := gen.DFSQuery(data, 2+rng.Intn(4), rng)
+		if err != nil {
+			continue
+		}
+		tree, err := order.Preprocess(data, query, order.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := ceci.Build(data, tree, ceci.Options{})
+		want := enum.NewMatcher(ix, enum.Options{Workers: 1}).Count()
+		for _, workers := range []int{1, 4} {
+			got := enum.CountIncremental(data, tree, ceci.Options{}, enum.Options{Workers: workers})
+			if got != want {
+				t.Fatalf("trial %d w=%d: incremental %d != monolithic %d", trial, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestIncrementalLimit(t *testing.T) {
+	data := gen.Kronecker(9, 8, 3)
+	tree, err := order.Preprocess(data, gen.QG1(), order.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got := enum.CountIncremental(data, tree, ceci.Options{},
+			enum.Options{Workers: workers, Limit: 77})
+		if got != 77 {
+			t.Fatalf("w=%d: limited count = %d, want 77", workers, got)
+		}
+	}
+}
+
+func TestIncrementalEarlyStop(t *testing.T) {
+	data := gen.Kronecker(9, 8, 3)
+	tree, err := order.Preprocess(data, gen.QG1(), order.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	enum.ForEachIncremental(data, tree, ceci.Options{}, enum.Options{Workers: 1},
+		func([]uint32) bool {
+			calls++
+			return calls < 9
+		})
+	if calls != 9 {
+		t.Fatalf("callback ran %d times, want 9", calls)
+	}
+}
+
+func TestIncrementalEmptyResult(t *testing.T) {
+	// A query with a label absent from the data graph: no pivots at all.
+	data := gen.Fig1Data()
+	b := graph.NewBuilder(2)
+	b.SetLabel(0, 99)
+	b.SetLabel(1, 99)
+	b.AddEdge(0, 1)
+	query := b.MustBuild()
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := enum.CountIncremental(data, tree, ceci.Options{}, enum.Options{}); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}

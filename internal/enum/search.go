@@ -1,0 +1,119 @@
+package enum
+
+import (
+	"ceci/internal/ceci"
+	"ceci/internal/graph"
+	"ceci/internal/workload"
+)
+
+// searcher is one worker's backtracking state. All buffers are owned by
+// the worker; nothing here is shared.
+type searcher struct {
+	m    *Matcher
+	ctl  *control
+	tree queryShape
+
+	emb     []graph.VertexID    // partial embedding, indexed by query vertex
+	matched []bool              // indexed by query vertex
+	used    []bool              // indexed by data vertex (injectivity bitmap)
+	scratch []ceci.MatchScratch // per-depth intersection buffers
+
+	recursiveCalls int64
+	embeddings     int64
+}
+
+// queryShape caches the tree fields the inner loop touches.
+type queryShape struct {
+	order []graph.VertexID
+	n     int
+}
+
+func newSearcher(m *Matcher, ctl *control) *searcher {
+	n := m.ix.Tree.NumVertices()
+	return &searcher{
+		m:       m,
+		ctl:     ctl,
+		tree:    queryShape{order: m.ix.Tree.Order, n: n},
+		emb:     make([]graph.VertexID, n),
+		matched: make([]bool, n),
+		used:    make([]bool, m.ix.Data.NumVertices()),
+		scratch: make([]ceci.MatchScratch, n+1),
+	}
+}
+
+// runUnit enumerates the embeddings of one work unit: the prefix is
+// installed (it was validated during decomposition) and the search
+// continues from the next matching-order position. Returns false when
+// the enumeration should stop globally.
+func (s *searcher) runUnit(u workload.Unit) bool {
+	for i, v := range u.Prefix {
+		q := s.tree.order[i]
+		s.emb[q] = v
+		s.matched[q] = true
+		s.used[v] = true
+	}
+	ok := s.search(len(u.Prefix))
+	for i, v := range u.Prefix {
+		q := s.tree.order[i]
+		s.matched[q] = false
+		s.used[v] = false
+	}
+	return ok
+}
+
+// search extends the embedding at the given matching-order depth.
+// Returns false to stop enumeration (limit reached or consumer stop).
+func (s *searcher) search(depth int) bool {
+	if depth == s.tree.n {
+		s.embeddings++
+		return s.ctl.emit(s.emb)
+	}
+	u := s.tree.order[depth]
+	s.recursiveCalls++
+
+	var cands []graph.VertexID
+	if s.m.opts.EdgeVerification {
+		cands = s.m.ix.CandidatesForEdgeVerify(u, s.emb)
+	} else {
+		cands = s.m.ix.CandidatesFor(u, s.emb, &s.scratch[depth])
+	}
+	if len(cands) == 0 {
+		return true
+	}
+	cons := s.m.cons
+	for _, v := range cands {
+		if s.used[v] {
+			continue
+		}
+		if cons != nil && !cons.Allows(u, v, s.emb, s.matched) {
+			continue
+		}
+		if s.m.opts.EdgeVerification && !s.m.ix.VerifyNTE(u, v, s.emb) {
+			continue
+		}
+		s.emb[u] = v
+		s.matched[u] = true
+		s.used[v] = true
+		ok := s.search(depth + 1)
+		s.matched[u] = false
+		s.used[v] = false
+		if !ok {
+			return false
+		}
+		// Periodically observe the global stop flag so deep subtrees
+		// terminate promptly once a limit is hit elsewhere.
+		if s.ctl.stop.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) flushStats() {
+	if st := s.m.opts.Stats; st != nil {
+		st.RecursiveCalls.Add(s.recursiveCalls)
+		st.Embeddings.Add(s.embeddings)
+	}
+	s.recursiveCalls = 0
+	s.embeddings = 0
+}

@@ -1,0 +1,98 @@
+package gen
+
+import "ceci/internal/graph"
+
+// Paper Figure 1 fixture: the running example used throughout Sections
+// 1–4. Labels: A=0, B=1, C=2, D=3, E=4. Data vertices v1..v15 map to IDs
+// 0..14 (so vK has ID K-1).
+//
+// The data graph is reconstructed from the narrative:
+//   - pivots {v1, v2} are the candidates of root u1;
+//   - TE(u1,u2) = <v1,{v3,v5,v7}>, <v2,{v7,v9}>;
+//   - TE(u1,u3) = <v1,{v4,v6}>, <v2,{v8}> with v8 killed by the NLC filter
+//     (no E-labeled neighbor), which cascades to remove the v2 cluster;
+//   - NTE(u2,u3) = <v3,{v4}>, <v5,{v4,v6}>, <v7,{v6}> (v8 pruned);
+//   - reverse-BFS refinement removes v7 from candidates of u2 because its
+//     only u4-child v15 is not in NTE_Candidates of u4;
+//   - exactly two embeddings survive: (v1,v3,v4,v11,v12) and
+//     (v1,v5,v6,v13,v14).
+
+// Fig1LabelA..Fig1LabelE name the labels of the fixture.
+const (
+	Fig1LabelA graph.Label = iota
+	Fig1LabelB
+	Fig1LabelC
+	Fig1LabelD
+	Fig1LabelE
+)
+
+// Fig1V converts the paper's 1-based vertex naming (vK) to a VertexID.
+func Fig1V(k int) graph.VertexID { return graph.VertexID(k - 1) }
+
+// Fig1Query returns the 5-vertex query graph of Figure 1:
+// u1(A)-u2(B), u1-u3(C), u2-u3, u2-u4(D), u3-u4, u3-u5(E).
+// Query vertices u1..u5 are IDs 0..4.
+func Fig1Query() *graph.Graph {
+	b := graph.NewBuilder(5)
+	b.SetLabel(0, Fig1LabelA)
+	b.SetLabel(1, Fig1LabelB)
+	b.SetLabel(2, Fig1LabelC)
+	b.SetLabel(3, Fig1LabelD)
+	b.SetLabel(4, Fig1LabelE)
+	for _, e := range [][2]graph.VertexID{
+		{0, 1}, {0, 2}, // tree edges from u1
+		{1, 2}, // non-tree edge (u2,u3)
+		{1, 3}, // tree edge (u2,u4)
+		{2, 3}, // non-tree edge (u3,u4)
+		{2, 4}, // tree edge (u3,u5)
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// Fig1Data returns the 15-vertex data graph of Figure 1.
+func Fig1Data() *graph.Graph {
+	b := graph.NewBuilder(15)
+	setLabels := func(l graph.Label, vs ...int) {
+		for _, v := range vs {
+			b.SetLabel(Fig1V(v), l)
+		}
+	}
+	setLabels(Fig1LabelA, 1, 2)
+	setLabels(Fig1LabelB, 3, 5, 7, 9)
+	setLabels(Fig1LabelC, 4, 6, 8, 10)
+	setLabels(Fig1LabelD, 11, 13, 15)
+	setLabels(Fig1LabelE, 12, 14)
+	edges := [][2]int{
+		// A-B edges (candidates of the query edge u1-u2)
+		{1, 3}, {1, 5}, {1, 7}, {2, 7}, {2, 9},
+		// A-C edges (u1-u3)
+		{1, 4}, {1, 6}, {2, 8},
+		// B-C edges (u2-u3 non-tree edge)
+		{3, 4}, {5, 4}, {5, 6}, {7, 6}, {7, 8}, {9, 8},
+		// B-D edges (u2-u4)
+		{3, 11}, {5, 13}, {7, 15}, {9, 11},
+		// C-D edges (u3-u4)
+		{4, 11}, {6, 13}, {8, 11},
+		// C-E edges (u3-u5)
+		{4, 12}, {6, 14},
+		// v15 needs a C neighbor to pass the NLC filter for u4 without
+		// creating a third embedding: v10 is a C vertex unreachable from
+		// the pivots.
+		{15, 10},
+	}
+	for _, e := range edges {
+		b.AddEdge(Fig1V(e[0]), Fig1V(e[1]))
+	}
+	return b.MustBuild()
+}
+
+// Fig1Embeddings returns the two embeddings of the fixture in matching
+// order (u1,u2,u3,u4,u5), each expressed as data vertex IDs.
+func Fig1Embeddings() [][]graph.VertexID {
+	return [][]graph.VertexID{
+		{Fig1V(1), Fig1V(3), Fig1V(4), Fig1V(11), Fig1V(12)},
+		{Fig1V(1), Fig1V(5), Fig1V(6), Fig1V(13), Fig1V(14)},
+	}
+}

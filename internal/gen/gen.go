@@ -1,0 +1,180 @@
+// Package gen generates the synthetic data graphs, query graphs, and paper
+// fixtures used across the repository.
+//
+// The paper evaluates on SNAP datasets (Table 1) that are not available
+// offline; DESIGN.md §4 documents the substitution: Graph500 Kronecker
+// graphs (the same generator the paper uses for its rand_500k dataset),
+// Chung-Lu power-law graphs matching the degree skew that drives CECI's
+// workload-balancing results, Erdős–Rényi graphs as a low-skew control,
+// and the random label-injection recipe of §6.2.
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ceci/internal/graph"
+)
+
+// Kronecker generates a Graph500-style R-MAT/Kronecker graph with 2^scale
+// vertices and approximately edgeFactor * 2^scale undirected edges. The
+// (a, b, c, d) probabilities follow the Graph500 reference (0.57, 0.19,
+// 0.19, 0.05), producing the heavy-tailed degree distribution the paper's
+// rand_500k shares.
+func Kronecker(scale int, edgeFactor int, seed int64) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("gen: Kronecker scale %d out of range [1,30]", scale))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	b := graph.NewBuilder(n)
+	const pa, pb, pc = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < pa:
+				// top-left: no bits set
+			case r < pa+pb:
+				v |= 1 << bit
+			case r < pa+pb+pc:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+	return b.MustBuild()
+}
+
+// ChungLu generates a power-law graph with n vertices whose expected
+// degree sequence follows w_i ∝ (i+1)^(-1/(gamma-1)), scaled to an
+// average degree of avgDeg. gamma ≈ 2.1–2.5 matches social networks like
+// the paper's LiveJournal/Orkut/Friendster.
+func ChungLu(n int, avgDeg float64, gamma float64, seed int64) *graph.Graph {
+	if n < 2 {
+		panic("gen: ChungLu needs n >= 2")
+	}
+	if gamma <= 1 {
+		panic("gen: ChungLu needs gamma > 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, n)
+	sum := 0.0
+	alpha := 1.0 / (gamma - 1.0)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	// Scale weights so Σw = n·avgDeg (expected half-edge count ·2).
+	scale := float64(n) * avgDeg / sum
+	cum := make([]float64, n+1)
+	for i := range w {
+		w[i] *= scale
+		cum[i+1] = cum[i] + w[i]
+	}
+	total := cum[n]
+	m := int(float64(n) * avgDeg / 2)
+	b := graph.NewBuilder(n)
+	pick := func() graph.VertexID {
+		x := rng.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.VertexID(lo)
+	}
+	for i := 0; i < m; i++ {
+		u, v := pick(), pick()
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ErdosRenyi generates G(n, m): m uniformly random undirected edges over n
+// vertices. A low-skew control workload.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// WithRandomLabels returns a copy of g whose vertices carry labels drawn
+// uniformly from [0, numLabels). This is the paper's §6.2 recipe ("we
+// randomly inject each node of RD with one of the 100 different labels").
+func WithRandomLabels(g *graph.Graph, numLabels int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(numLabels)))
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	return b.MustBuild()
+}
+
+// WithRandomMultiLabels attaches 1..maxPerVertex labels per vertex from an
+// alphabet of numLabels, mimicking the paper's HU dataset ("one or more of
+// 90 different labels on each node").
+func WithRandomMultiLabels(g *graph.Graph, numLabels, maxPerVertex int, seed int64) *graph.Graph {
+	return withMultiLabels(g, maxPerVertex, seed, func(rng *rand.Rand) graph.Label {
+		return graph.Label(rng.Intn(numLabels))
+	})
+}
+
+// WithZipfMultiLabels is WithRandomMultiLabels with a Zipf-distributed
+// label alphabet (exponent s): a few very common annotations and a long
+// selective tail, the frequency profile of real functional annotations
+// (GO terms, protein families). Selectivity skew is what gives candidate
+// filters their bite, so labeled experiments use this for the HU
+// substitute.
+func WithZipfMultiLabels(g *graph.Graph, numLabels, maxPerVertex int, s float64, seed int64) *graph.Graph {
+	rngSeed := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rngSeed, s, 1, uint64(numLabels-1))
+	return withMultiLabels(g, maxPerVertex, seed+1, func(*rand.Rand) graph.Label {
+		return graph.Label(zipf.Uint64())
+	})
+}
+
+func withMultiLabels(g *graph.Graph, maxPerVertex int, seed int64, draw func(*rand.Rand) graph.Label) *graph.Graph {
+	if maxPerVertex < 1 {
+		maxPerVertex = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		k := 1 + rng.Intn(maxPerVertex)
+		b.SetLabel(graph.VertexID(v), draw(rng))
+		for i := 1; i < k; i++ {
+			b.AddExtraLabel(graph.VertexID(v), draw(rng))
+		}
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	return b.MustBuild()
+}

@@ -1,0 +1,226 @@
+package gen_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+)
+
+func TestKroneckerDeterministic(t *testing.T) {
+	a := gen.Kronecker(10, 8, 7)
+	b := gen.Kronecker(10, 8, 7)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := gen.Kronecker(10, 8, 8)
+	if c.NumEdges() == a.NumEdges() {
+		t.Log("different seeds produced same edge count (possible but unlikely)")
+	}
+}
+
+func TestKroneckerShape(t *testing.T) {
+	g := gen.Kronecker(12, 8, 1)
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Kronecker graphs are heavy tailed: the max degree should far
+	// exceed the average.
+	avg := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 8*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", g.MaxDegree(), avg)
+	}
+}
+
+func TestKroneckerPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for scale 0")
+		}
+	}()
+	gen.Kronecker(0, 8, 1)
+}
+
+func TestChungLuShape(t *testing.T) {
+	g := gen.ChungLu(20000, 10, 2.3, 5)
+	avg := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if math.Abs(avg-10) > 4 {
+		t.Fatalf("average degree %.1f too far from 10", avg)
+	}
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Fatalf("max degree %d not skewed (avg %.1f)", g.MaxDegree(), avg)
+	}
+}
+
+func TestErdosRenyiShape(t *testing.T) {
+	g := gen.ErdosRenyi(5000, 20000, 3)
+	if g.NumVertices() != 5000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// ER has a light tail: max degree within a small factor of average.
+	avg := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) > 6*avg {
+		t.Fatalf("ER max degree %d unexpectedly skewed", g.MaxDegree())
+	}
+}
+
+func TestWithRandomLabels(t *testing.T) {
+	g := gen.WithRandomLabels(gen.ErdosRenyi(1000, 3000, 1), 10, 2)
+	if g.NumLabels() > 10 {
+		t.Fatalf("labels = %d", g.NumLabels())
+	}
+	seen := map[graph.Label]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		seen[g.Label(graph.VertexID(v))] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct labels used", len(seen))
+	}
+	// Topology preserved.
+	if g.NumEdges() != gen.ErdosRenyi(1000, 3000, 1).NumEdges() {
+		t.Fatal("labeling changed the topology")
+	}
+}
+
+func TestWithRandomMultiLabels(t *testing.T) {
+	g := gen.WithRandomMultiLabels(gen.ErdosRenyi(500, 1500, 1), 20, 3, 2)
+	multi := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if len(g.Labels(graph.VertexID(v))) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-labeled vertices")
+	}
+}
+
+func TestQueryGraphShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		v, e int
+	}{
+		{"QG1", gen.QG1(), 3, 3},
+		{"QG2", gen.QG2(), 4, 4},
+		{"QG3", gen.QG3(), 4, 6},
+		{"QG4", gen.QG4(), 5, 6},
+		{"QG5", gen.QG5(), 5, 10},
+	}
+	for _, c := range cases {
+		if c.g.NumVertices() != c.v || c.g.NumEdges() != c.e {
+			t.Errorf("%s: %v, want %d vertices %d edges", c.name, c.g, c.v, c.e)
+		}
+		// Figure 6: all nodes carry label 0.
+		for v := 0; v < c.g.NumVertices(); v++ {
+			if c.g.Label(graph.VertexID(v)) != 0 {
+				t.Errorf("%s: vertex %d labeled %d", c.name, v, c.g.Label(graph.VertexID(v)))
+			}
+		}
+	}
+	if len(gen.QueryGraphs()) != 5 {
+		t.Fatal("QueryGraphs should expose QG1..QG5")
+	}
+}
+
+// TestDFSQueryProperties: generated queries must be connected, carry the
+// data graph's labels, and have at least one embedding (the generating
+// one) — exactly the §6.2 recipe.
+func TestDFSQueryProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := gen.WithRandomLabels(gen.Kronecker(9, 6, 4), 5, 9)
+	for size := 2; size <= 8; size++ {
+		for trial := 0; trial < 5; trial++ {
+			q, err := gen.DFSQuery(data, size, rng)
+			if err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+			if q.NumVertices() != size {
+				t.Fatalf("size %d: got %d vertices", size, q.NumVertices())
+			}
+			if !isConnected(q) {
+				t.Fatalf("size %d: query disconnected", size)
+			}
+			if n := reference.Count(data, q, reference.Options{Limit: 1}); n < 1 {
+				t.Fatalf("size %d: generated query has no embedding", size)
+			}
+		}
+	}
+}
+
+func TestDFSQueryRejectsBadSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := gen.ErdosRenyi(10, 20, 1)
+	if _, err := gen.DFSQuery(data, 0, rng); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := gen.DFSQuery(data, 11, rng); err == nil {
+		t.Fatal("oversized query accepted")
+	}
+}
+
+func TestQuerySetCount(t *testing.T) {
+	data := gen.ErdosRenyi(200, 800, 2)
+	qs := gen.QuerySet(data, 4, 10, 7)
+	if len(qs) == 0 {
+		t.Fatal("no queries generated")
+	}
+	for _, q := range qs {
+		if q.NumVertices() != 4 {
+			t.Fatalf("query size %d", q.NumVertices())
+		}
+	}
+}
+
+// TestFig1FixtureIsSelfConsistent re-derives the two embeddings with the
+// oracle, guarding the fixture against accidental edits.
+func TestFig1FixtureIsSelfConsistent(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	embs := reference.FindAll(data, query, reference.Options{})
+	want := gen.Fig1Embeddings()
+	if len(embs) != len(want) {
+		t.Fatalf("oracle found %d embeddings, fixture claims %d: %v", len(embs), len(want), embs)
+	}
+	for _, w := range want {
+		found := false
+		for _, e := range embs {
+			same := true
+			for i := range w {
+				if e[i] != w[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("expected embedding %v not found by oracle", w)
+		}
+	}
+}
+
+func isConnected(g *graph.Graph) bool {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	stack := []graph.VertexID{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}

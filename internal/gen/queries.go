@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ceci/internal/graph"
+)
+
+// The five unlabeled query graphs of the paper's Figure 6 ("all the nodes
+// have same label 0"), chosen to satisfy the constraints the text states:
+// QG1 is a 3-vertex clique with 6 automorphisms, and QG1/QG3/QG5 exercise
+// backtracking depths 3, 4, and 5 respectively (Section 6.3). This is the
+// standard PsgL/DualSim/TTJ query set.
+
+// QG1 returns the triangle (3-clique).
+func QG1() *graph.Graph {
+	return mustEdges(3, [][2]graph.VertexID{{0, 1}, {0, 2}, {1, 2}})
+}
+
+// QG2 returns the 4-cycle (square).
+func QG2() *graph.Graph {
+	return mustEdges(4, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+}
+
+// QG3 returns the 4-clique.
+func QG3() *graph.Graph {
+	return mustEdges(4, [][2]graph.VertexID{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+	})
+}
+
+// QG4 returns the house: a 4-cycle with a roof vertex (5 vertices, 6 edges).
+func QG4() *graph.Graph {
+	return mustEdges(5, [][2]graph.VertexID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // walls
+		{0, 4}, {1, 4}, // roof
+	})
+}
+
+// QG5 returns the 5-clique.
+func QG5() *graph.Graph {
+	edges := [][2]graph.VertexID{}
+	for i := graph.VertexID(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]graph.VertexID{i, j})
+		}
+	}
+	return mustEdges(5, edges)
+}
+
+// QueryGraphs returns QG1..QG5 keyed by name.
+func QueryGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"QG1": QG1(), "QG2": QG2(), "QG3": QG3(), "QG4": QG4(), "QG5": QG5(),
+	}
+}
+
+func mustEdges(n int, edges [][2]graph.VertexID) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// DFSQuery grows a connected query graph of size vertices from data graph
+// g by DFS from a random source, adding every backward edge among selected
+// vertices, exactly as the paper's §6.2 prescribes. Labels are transferred
+// from the data graph (primary label only, matching "if the data node has
+// multiple labels, only the first label is used"). The returned query is
+// guaranteed to have at least one embedding in g (the generating one).
+//
+// Returns an error if g has no connected region of the requested size
+// reachable from any of a bounded number of random restarts.
+func DFSQuery(g *graph.Graph, size int, rng *rand.Rand) (*graph.Graph, error) {
+	if size < 1 || size > g.NumVertices() {
+		return nil, fmt.Errorf("gen: query size %d out of range", size)
+	}
+	const restarts = 64
+	for attempt := 0; attempt < restarts; attempt++ {
+		src := graph.VertexID(rng.Intn(g.NumVertices()))
+		sel := dfsSelect(g, src, size, rng)
+		if len(sel) < size {
+			continue
+		}
+		// Map data vertices to query IDs in selection order.
+		idx := make(map[graph.VertexID]graph.VertexID, size)
+		b := graph.NewBuilder(size)
+		for i, v := range sel {
+			idx[v] = graph.VertexID(i)
+			b.SetLabel(graph.VertexID(i), g.Label(v))
+		}
+		// Every backward edge among the selected vertices joins the query.
+		for _, v := range sel {
+			for _, w := range g.Neighbors(v) {
+				if wi, ok := idx[w]; ok {
+					b.AddEdge(idx[v], wi)
+				}
+			}
+		}
+		return b.Build()
+	}
+	return nil, fmt.Errorf("gen: no connected region of %d vertices found", size)
+}
+
+// dfsSelect walks g depth-first from src, visiting neighbors in random
+// order, until size vertices are selected or the component is exhausted.
+func dfsSelect(g *graph.Graph, src graph.VertexID, size int, rng *rand.Rand) []graph.VertexID {
+	sel := make([]graph.VertexID, 0, size)
+	seen := map[graph.VertexID]bool{src: true}
+	stack := []graph.VertexID{src}
+	for len(stack) > 0 && len(sel) < size {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sel = append(sel, v)
+		nbrs := g.Neighbors(v)
+		// Shuffled copy so repeated calls explore different regions.
+		perm := rng.Perm(len(nbrs))
+		for _, i := range perm {
+			w := nbrs[i]
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return sel
+}
+
+// QuerySet generates count DFS-grown queries of the given size (paper
+// §6.2 uses 100 per size). Queries that cannot be grown (tiny graphs) are
+// skipped; the returned slice may be shorter than count.
+func QuerySet(g *graph.Graph, size, count int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		q, err := DFSQuery(g, size, rng)
+		if err != nil {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package graph_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceci/internal/graph"
+	"ceci/internal/stats"
+)
+
+func writeCSRFile(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.csr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteCSR(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func randomCSRGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(4)))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestDiskCSRMatchesInMemory(t *testing.T) {
+	g := randomCSRGraph(5, 200, 800)
+	path := writeCSRFile(t, g)
+	st := &stats.Counters{}
+	d, err := graph.OpenDiskCSR(path, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if d.NumVertices() != g.NumVertices() || d.NumLabels() != g.NumLabels() {
+		t.Fatalf("shape mismatch: %d/%d", d.NumVertices(), d.NumLabels())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if d.Degree(id) != g.Degree(id) || d.Label(id) != g.Label(id) {
+			t.Fatalf("metadata mismatch at %d", v)
+		}
+		nbrs, err := d.Neighbors(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Neighbors(id)
+		if len(nbrs) != len(want) {
+			t.Fatalf("adjacency length mismatch at %d", v)
+		}
+		for i := range want {
+			if nbrs[i] != want[i] {
+				t.Fatalf("adjacency mismatch at %d[%d]", v, i)
+			}
+		}
+	}
+	if st.RemoteReads.Load() == 0 || st.BytesOnWire.Load() == 0 {
+		t.Fatal("disk reads not counted")
+	}
+}
+
+func TestDiskCSRMaterializeRegion(t *testing.T) {
+	g := randomCSRGraph(9, 300, 1200)
+	path := writeCSRFile(t, g)
+	d, err := graph.OpenDiskCSR(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	seeds := []graph.VertexID{0, 7}
+	depth := 2
+	region, err := d.MaterializeRegion(seeds, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex within `depth` of a seed must have its full adjacency.
+	dist := bfsDistances(g, seeds)
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if dist[v] <= depth {
+			if region.Degree(id) != g.Degree(id) {
+				t.Fatalf("vertex %d (dist %d): degree %d != %d",
+					v, dist[v], region.Degree(id), g.Degree(id))
+			}
+		}
+		if region.Label(id) != g.Label(id) {
+			t.Fatalf("vertex %d label lost", v)
+		}
+	}
+}
+
+func TestDiskCSRBadSeeds(t *testing.T) {
+	g := randomCSRGraph(2, 20, 40)
+	d, err := graph.OpenDiskCSR(writeCSRFile(t, g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.MaterializeRegion([]graph.VertexID{999}, 1); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+func TestOpenDiskCSRGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a csr at all, sorry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.OpenDiskCSR(path, nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := graph.OpenDiskCSR(filepath.Join(t.TempDir(), "missing"), nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func bfsDistances(g *graph.Graph, seeds []graph.VertexID) []int {
+	const inf = 1 << 30
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = inf
+	}
+	var queue []graph.VertexID
+	for _, s := range seeds {
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] > dist[v]+1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,155 @@
+// Package graph provides the labeled-graph substrate shared by every
+// matcher in the repository: an immutable CSR (compressed sparse row)
+// representation with sorted adjacency lists, a label index, cached
+// neighborhood-label-count signatures, and a mutable Builder.
+//
+// Vertices are dense uint32 identifiers in [0, NumVertices). Each vertex
+// carries one or more labels (the paper's L assigns a label *set*; most
+// datasets use exactly one). Edges are undirected for matching purposes:
+// directed inputs are symmetrized at build time, matching the paper's
+// treatment ("the data graph can be directed or undirected" — candidates
+// are collected over the undirected neighborhood).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex in a Graph. IDs are dense: every value in
+// [0, NumVertices) is a valid vertex.
+type VertexID = uint32
+
+// Label is a vertex label drawn from a dense alphabet [0, NumLabels).
+type Label = uint32
+
+// NoLabel is returned by Label lookups on out-of-range vertices.
+const NoLabel = ^Label(0)
+
+// Graph is an immutable undirected labeled graph in CSR form.
+// Adjacency lists are sorted ascending, enabling binary-search edge probes
+// and linear-time sorted intersection.
+type Graph struct {
+	offsets   []int64              // len = n+1; neighbors of v are neighbors[offsets[v]:offsets[v+1]]
+	neighbors []VertexID           // concatenated sorted adjacency lists
+	labels    []Label              // primary label per vertex (labels[v])
+	extra     map[VertexID][]Label // additional labels for multi-labeled vertices (sorted)
+
+	labelIndex [][]VertexID // labelIndex[l] = sorted vertices whose label set contains l
+	numLabels  int
+
+	nlc nlcCache // lazily built neighborhood-label-count signatures
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.neighbors) / 2 }
+
+// NumLabels returns the size of the label alphabet (max label + 1).
+func (g *Graph) NumLabels() int { return g.numLabels }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Label returns the primary label of v.
+func (g *Graph) Label(v VertexID) Label {
+	if int(v) >= len(g.labels) {
+		return NoLabel
+	}
+	return g.labels[v]
+}
+
+// Labels returns all labels of v (primary first, then extras).
+// The result must not be modified.
+func (g *Graph) Labels(v VertexID) []Label {
+	if extras, ok := g.extra[v]; ok {
+		out := make([]Label, 0, 1+len(extras))
+		out = append(out, g.labels[v])
+		return append(out, extras...)
+	}
+	return g.labels[v : v+1]
+}
+
+// HasLabel reports whether l is among v's labels.
+func (g *Graph) HasLabel(v VertexID, l Label) bool {
+	if g.labels[v] == l {
+		return true
+	}
+	extras, ok := g.extra[v]
+	if !ok {
+		return false
+	}
+	i := sort.Search(len(extras), func(i int) bool { return extras[i] >= l })
+	return i < len(extras) && extras[i] == l
+}
+
+// HasEdge reports whether (u, v) is an edge, via binary search on the
+// shorter adjacency list.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// VerticesWithLabel returns the sorted vertices whose label set contains l.
+// The result aliases internal storage and must not be modified.
+func (g *Graph) VerticesWithLabel(l Label) []VertexID {
+	if int(l) >= len(g.labelIndex) {
+		return nil
+	}
+	return g.labelIndex[l]
+}
+
+// LabelFrequency returns how many vertices carry label l.
+func (g *Graph) LabelFrequency(l Label) int {
+	return len(g.VerticesWithLabel(l))
+}
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(VertexID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges calls fn once per undirected edge (u < v). It stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(u, v VertexID) bool) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(VertexID(u)) {
+			if VertexID(u) < v {
+				if !fn(VertexID(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{V=%d E=%d L=%d}", g.NumVertices(), g.NumEdges(), g.numLabels)
+}
+
+// BytesEstimate returns the approximate in-memory footprint of the CSR
+// arrays in bytes (used to report Table 2 style sizes).
+func (g *Graph) BytesEstimate() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.neighbors))*4 + int64(len(g.labels))*4
+}

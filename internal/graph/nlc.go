@@ -1,0 +1,202 @@
+package graph
+
+import "sync"
+
+// NLCSignature is a neighborhood-label-count signature: how many neighbors
+// of a vertex carry each label. Query-side signatures count every label of
+// every neighbor; a data vertex v satisfies the NLC filter for query vertex
+// u iff count_v(l) >= count_u(l) for every label l in u's neighborhood
+// (Section 3.2 of the paper).
+//
+// Signatures are stored sparsely as parallel label/count slices sorted by
+// label, keeping the per-vertex cost proportional to distinct neighbor
+// labels rather than the alphabet size.
+type NLCSignature struct {
+	Labels []Label
+	Counts []int32
+}
+
+// Covers reports whether sig has at least the count required by req for
+// every label in req. Both signatures must be sorted by label.
+func (sig NLCSignature) Covers(req NLCSignature) bool {
+	i := 0
+	for j := range req.Labels {
+		for i < len(sig.Labels) && sig.Labels[i] < req.Labels[j] {
+			i++
+		}
+		if i == len(sig.Labels) || sig.Labels[i] != req.Labels[j] || sig.Counts[i] < req.Counts[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the count recorded for label l (0 if absent).
+func (sig NLCSignature) Count(l Label) int32 {
+	lo, hi := 0, len(sig.Labels)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sig.Labels[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sig.Labels) && sig.Labels[lo] == l {
+		return sig.Counts[lo]
+	}
+	return 0
+}
+
+// nlcCache lazily computes and stores data-vertex signatures. A two-level
+// scheme (shards) keeps lock contention low under parallel CECI builds.
+type nlcCache struct {
+	once   sync.Once
+	shards []nlcShard
+}
+
+const nlcShardCount = 64
+
+type nlcShard struct {
+	mu   sync.Mutex
+	sigs map[VertexID]NLCSignature
+}
+
+func (c *nlcCache) init() {
+	c.once.Do(func() {
+		c.shards = make([]nlcShard, nlcShardCount)
+		for i := range c.shards {
+			c.shards[i].sigs = make(map[VertexID]NLCSignature)
+		}
+	})
+}
+
+// NLC returns v's neighborhood-label-count signature, computing and caching
+// it on first use. Safe for concurrent callers.
+func (g *Graph) NLC(v VertexID) NLCSignature {
+	if g.numLabels == 1 {
+		// Single-label graphs: the signature is just the degree; build it
+		// on the fly instead of caching (the NLC filter then reduces to
+		// the degree filter, as the paper's unlabeled queries imply).
+		return NLCSignature{Labels: oneLabelZero, Counts: []int32{int32(g.Degree(v))}}
+	}
+	g.nlc.init()
+	shard := &g.nlc.shards[v%nlcShardCount]
+	shard.mu.Lock()
+	if sig, ok := shard.sigs[v]; ok {
+		shard.mu.Unlock()
+		return sig
+	}
+	shard.mu.Unlock()
+
+	sig := g.computeNLC(v)
+
+	shard.mu.Lock()
+	shard.sigs[v] = sig
+	shard.mu.Unlock()
+	return sig
+}
+
+var oneLabelZero = []Label{0}
+
+func (g *Graph) computeNLC(v VertexID) NLCSignature {
+	if g.numLabels <= 4096 {
+		return g.computeNLCDense(v)
+	}
+	counts := make(map[Label]int32)
+	for _, w := range g.Neighbors(v) {
+		for _, l := range g.Labels(w) {
+			counts[l]++
+		}
+	}
+	return signatureFromMap(counts)
+}
+
+// computeNLCDense counts into a pooled dense array — much cheaper than a
+// map for small alphabets (including multi-labeled vertices).
+func (g *Graph) computeNLCDense(v VertexID) NLCSignature {
+	buf := densePool.Get().(*denseCounts)
+	if cap(buf.counts) < g.numLabels {
+		buf.counts = make([]int32, g.numLabels)
+	}
+	counts := buf.counts[:g.numLabels]
+	nbrs := g.Neighbors(v)
+	distinct := 0
+	touched := 0
+	for _, w := range nbrs {
+		for _, l := range g.Labels(w) {
+			if counts[l] == 0 {
+				distinct++
+			}
+			counts[l]++
+			touched++
+		}
+	}
+	sig := NLCSignature{
+		Labels: make([]Label, 0, distinct),
+		Counts: make([]int32, 0, distinct),
+	}
+	// Neighbor label sets are short relative to the alphabet for most
+	// graphs; gather the touched labels by rescanning them when cheaper.
+	if touched < g.numLabels/4 {
+		for _, w := range nbrs {
+			for _, l := range g.Labels(w) {
+				if counts[l] > 0 {
+					sig.Labels = append(sig.Labels, l)
+					sig.Counts = append(sig.Counts, counts[l])
+					counts[l] = 0
+				}
+			}
+		}
+		insertionSortSig(&sig)
+	} else {
+		for l, c := range counts {
+			if c > 0 {
+				sig.Labels = append(sig.Labels, Label(l))
+				sig.Counts = append(sig.Counts, c)
+				counts[l] = 0
+			}
+		}
+	}
+	densePool.Put(buf)
+	return sig
+}
+
+type denseCounts struct{ counts []int32 }
+
+var densePool = sync.Pool{New: func() any { return &denseCounts{} }}
+
+func insertionSortSig(sig *NLCSignature) {
+	for i := 1; i < len(sig.Labels); i++ {
+		for j := i; j > 0 && sig.Labels[j-1] > sig.Labels[j]; j-- {
+			sig.Labels[j-1], sig.Labels[j] = sig.Labels[j], sig.Labels[j-1]
+			sig.Counts[j-1], sig.Counts[j] = sig.Counts[j], sig.Counts[j-1]
+		}
+	}
+}
+
+// NLCOf computes the signature for an arbitrary vertex of an arbitrary
+// graph without caching (used for query vertices, which are few).
+func NLCOf(g *Graph, v VertexID) NLCSignature {
+	return g.computeNLC(v)
+}
+
+func signatureFromMap(counts map[Label]int32) NLCSignature {
+	sig := NLCSignature{
+		Labels: make([]Label, 0, len(counts)),
+		Counts: make([]int32, 0, len(counts)),
+	}
+	for l := range counts {
+		sig.Labels = append(sig.Labels, l)
+	}
+	// insertion sort: label sets are tiny
+	for i := 1; i < len(sig.Labels); i++ {
+		for j := i; j > 0 && sig.Labels[j-1] > sig.Labels[j]; j-- {
+			sig.Labels[j-1], sig.Labels[j] = sig.Labels[j], sig.Labels[j-1]
+		}
+	}
+	for _, l := range sig.Labels {
+		sig.Counts = append(sig.Counts, counts[l])
+	}
+	return sig
+}

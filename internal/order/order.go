@@ -1,0 +1,352 @@
+// Package order implements the preprocessing stage of Section 2.2:
+// selecting the root query vertex, building the BFS query tree (tree
+// edges vs non-tree edges), and choosing a matching (visit) order.
+//
+// Every matching order produced here is tree-consistent: a vertex never
+// precedes its query-tree parent, which is the invariant the CECI index
+// and enumerator rely on.
+package order
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ceci/internal/graph"
+)
+
+// Heuristic selects how the matching order is derived from the query tree.
+type Heuristic int
+
+const (
+	// BFSOrder is the plain BFS traversal order used by the paper's
+	// running examples.
+	BFSOrder Heuristic = iota
+	// LeastFrequent picks, among vertices whose parent is already placed,
+	// the one with the fewest data-graph candidates (QuickSI-style).
+	LeastFrequent
+	// PathRanked approximates TurboIso's candidate-path ordering: it
+	// scores each available vertex by candidate count divided by degree,
+	// preferring selective, well-connected vertices.
+	PathRanked
+	// EdgeRanked approximates GpSM-style edge ranking: available vertices
+	// are scored by the minimum selectivity of an edge connecting them to
+	// the placed prefix.
+	EdgeRanked
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case BFSOrder:
+		return "bfs"
+	case LeastFrequent:
+		return "least-frequent"
+	case PathRanked:
+		return "path-ranked"
+	case EdgeRanked:
+		return "edge-ranked"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// NoParent marks the root's parent slot.
+const NoParent = int32(-1)
+
+// QueryTree is the preprocessed query: root, BFS tree, matching order, and
+// the tree / non-tree edge classification.
+type QueryTree struct {
+	Query *graph.Graph
+	Root  graph.VertexID
+
+	// Order is the matching order; Order[0] == Root. Pos inverts it.
+	Order []graph.VertexID
+	Pos   []int
+
+	// Parent[u] is u's parent in the BFS query tree (NoParent for root).
+	Parent []int32
+	// Children[u] lists u's tree children.
+	Children [][]graph.VertexID
+	// Depth[u] is the BFS depth (root = 0).
+	Depth []int32
+
+	// NTEParents[u] lists the non-tree neighbors of u that precede u in
+	// the matching order (u is the NTE "child"); NTEChildren is the
+	// reverse direction. Together they cover every non-tree edge once in
+	// each direction.
+	NTEParents  [][]graph.VertexID
+	NTEChildren [][]graph.VertexID
+
+	// CandCount[u] is the number of data vertices passing the label /
+	// degree / NLC filters for u, computed during root selection and
+	// reused by order heuristics.
+	CandCount []int
+}
+
+// NumVertices returns the query size.
+func (t *QueryTree) NumVertices() int { return t.Query.NumVertices() }
+
+// TreeEdgeCount and NTECount report the split of query edges.
+func (t *QueryTree) TreeEdgeCount() int { return t.NumVertices() - 1 }
+
+// NTECount returns the number of non-tree edges.
+func (t *QueryTree) NTECount() int {
+	n := 0
+	for _, l := range t.NTEParents {
+		n += len(l)
+	}
+	return n
+}
+
+// Options configures preprocessing.
+type Options struct {
+	// ForcedRoot, when >= 0, overrides cost-based root selection (used by
+	// tests reproducing the paper's running example and by ablations).
+	ForcedRoot int
+	// Heuristic selects the matching order (default BFSOrder).
+	Heuristic Heuristic
+}
+
+// DefaultOptions returns the paper's defaults.
+func DefaultOptions() Options { return Options{ForcedRoot: -1, Heuristic: BFSOrder} }
+
+// Preprocess validates the query, selects the root, builds the BFS tree,
+// and derives the matching order.
+func Preprocess(data, query *graph.Graph, opt Options) (*QueryTree, error) {
+	n := query.NumVertices()
+	if n == 0 {
+		return nil, errors.New("order: empty query")
+	}
+	if !connected(query) {
+		return nil, errors.New("order: query graph must be connected")
+	}
+
+	counts := make([]int, n)
+	for u := 0; u < n; u++ {
+		counts[u] = CandidateCount(data, query, graph.VertexID(u))
+	}
+
+	var root graph.VertexID
+	if opt.ForcedRoot >= 0 {
+		if opt.ForcedRoot >= n {
+			return nil, fmt.Errorf("order: forced root %d out of range", opt.ForcedRoot)
+		}
+		root = graph.VertexID(opt.ForcedRoot)
+	} else {
+		root = selectRoot(query, counts)
+	}
+
+	t := &QueryTree{
+		Query:       query,
+		Root:        root,
+		Parent:      make([]int32, n),
+		Children:    make([][]graph.VertexID, n),
+		Depth:       make([]int32, n),
+		NTEParents:  make([][]graph.VertexID, n),
+		NTEChildren: make([][]graph.VertexID, n),
+		CandCount:   counts,
+	}
+	t.buildBFSTree()
+	if err := t.buildOrder(opt.Heuristic); err != nil {
+		return nil, err
+	}
+	t.classifyNonTreeEdges()
+	return t, nil
+}
+
+// selectRoot implements the paper's cost function
+// argmin_u |candidates(u)| / degree(u), with candidate counts from the
+// label+degree+NLC filters (Section 2.2). Ties break to the smaller ID.
+func selectRoot(query *graph.Graph, counts []int) graph.VertexID {
+	best := graph.VertexID(0)
+	bestCost := float64(1 << 62)
+	for u := 0; u < query.NumVertices(); u++ {
+		deg := query.Degree(graph.VertexID(u))
+		if deg == 0 {
+			continue
+		}
+		cost := float64(counts[u]) / float64(deg)
+		if cost < bestCost {
+			bestCost = cost
+			best = graph.VertexID(u)
+		}
+	}
+	return best
+}
+
+// CandidateCount counts data vertices passing the label, degree, and
+// neighborhood-label-count filters for query vertex u.
+func CandidateCount(data, query *graph.Graph, u graph.VertexID) int {
+	n := 0
+	ForEachCandidate(data, query, u, func(graph.VertexID) { n++ })
+	return n
+}
+
+// ForEachCandidate calls fn for every data vertex passing the LDF+NLC
+// filters for query vertex u, in ascending vertex order.
+func ForEachCandidate(data, query *graph.Graph, u graph.VertexID, fn func(graph.VertexID)) {
+	qLabels := query.Labels(u)
+	qDeg := query.Degree(u)
+	qSig := graph.NLCOf(query, u)
+	for _, v := range data.VerticesWithLabel(qLabels[0]) {
+		if data.Degree(v) < qDeg {
+			continue
+		}
+		ok := true
+		for _, l := range qLabels[1:] {
+			if !data.HasLabel(v, l) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !data.NLC(v).Covers(qSig) {
+			continue
+		}
+		fn(v)
+	}
+}
+
+func (t *QueryTree) buildBFSTree() {
+	n := t.NumVertices()
+	for u := range t.Parent {
+		t.Parent[u] = NoParent
+		t.Depth[u] = -1
+	}
+	queue := make([]graph.VertexID, 0, n)
+	queue = append(queue, t.Root)
+	t.Depth[t.Root] = 0
+	visited := make([]bool, n)
+	visited[t.Root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range t.Query.Neighbors(u) {
+			if !visited[w] {
+				visited[w] = true
+				t.Parent[w] = int32(u)
+				t.Depth[w] = t.Depth[u] + 1
+				t.Children[u] = append(t.Children[u], w)
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// buildOrder produces a tree-consistent matching order under the chosen
+// heuristic. BFS order falls out of a plain queue; the others greedily
+// select among "available" vertices (tree parent already placed).
+func (t *QueryTree) buildOrder(h Heuristic) error {
+	n := t.NumVertices()
+	t.Order = make([]graph.VertexID, 0, n)
+	t.Pos = make([]int, n)
+
+	if h == BFSOrder {
+		// Stable BFS: children in ascending ID order (Neighbors is sorted).
+		queue := []graph.VertexID{t.Root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			t.Pos[u] = len(t.Order)
+			t.Order = append(t.Order, u)
+			queue = append(queue, t.Children[u]...)
+		}
+		if len(t.Order) != n {
+			return errors.New("order: BFS did not reach all query vertices")
+		}
+		return nil
+	}
+
+	placed := make([]bool, n)
+	available := []graph.VertexID{t.Root}
+	score := func(u graph.VertexID) float64 {
+		switch h {
+		case LeastFrequent:
+			return float64(t.CandCount[u])
+		case PathRanked:
+			return float64(t.CandCount[u]) / float64(t.Query.Degree(u))
+		case EdgeRanked:
+			// Minimum product-of-candidate-counts over edges into the
+			// placed prefix; the root has no placed neighbor yet.
+			best := float64(1 << 62)
+			for _, w := range t.Query.Neighbors(u) {
+				if placed[w] {
+					s := float64(t.CandCount[u]) * float64(t.CandCount[w])
+					if s < best {
+						best = s
+					}
+				}
+			}
+			if best == float64(1<<62) {
+				best = float64(t.CandCount[u])
+			}
+			return best
+		default:
+			return float64(u)
+		}
+	}
+	for len(available) > 0 {
+		// Pick the best-scoring available vertex (ties to smaller ID).
+		sort.Slice(available, func(i, j int) bool {
+			si, sj := score(available[i]), score(available[j])
+			if si != sj {
+				return si < sj
+			}
+			return available[i] < available[j]
+		})
+		u := available[0]
+		available = available[1:]
+		placed[u] = true
+		t.Pos[u] = len(t.Order)
+		t.Order = append(t.Order, u)
+		for _, c := range t.Children[u] {
+			available = append(available, c)
+		}
+	}
+	if len(t.Order) != n {
+		return errors.New("order: heuristic order did not place all vertices")
+	}
+	return nil
+}
+
+// classifyNonTreeEdges assigns each non-tree edge a direction: the
+// endpoint earlier in the matching order is the NTE parent.
+func (t *QueryTree) classifyNonTreeEdges() {
+	t.Query.Edges(func(a, b graph.VertexID) bool {
+		if t.Parent[a] == int32(b) || t.Parent[b] == int32(a) {
+			return true // tree edge
+		}
+		p, c := a, b
+		if t.Pos[p] > t.Pos[c] {
+			p, c = c, p
+		}
+		t.NTEParents[c] = append(t.NTEParents[c], p)
+		t.NTEChildren[p] = append(t.NTEChildren[p], c)
+		return true
+	})
+}
+
+func connected(g *graph.Graph) bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []graph.VertexID{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}

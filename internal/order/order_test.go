@@ -1,0 +1,197 @@
+package order_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+)
+
+func TestFig1RootSelection(t *testing.T) {
+	// On the Figure 1 fixture the cost function argmin |cand(u)|/deg(u)
+	// picks u3 (2 candidates after LDF+NLC, degree 4 -> cost 0.5); the
+	// paper's narrative forces u1, which tests use via ForcedRoot.
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 2 {
+		t.Fatalf("root = u%d, want u3 (cost 2/4)", tree.Root+1)
+	}
+	if tree.CandCount[0] != 2 || tree.CandCount[2] != 2 {
+		t.Fatalf("candidate counts = %v", tree.CandCount)
+	}
+}
+
+func TestForcedRootValidation(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	if _, err := order.Preprocess(data, query, order.Options{ForcedRoot: 99}); err == nil {
+		t.Fatal("out-of-range forced root accepted")
+	}
+}
+
+func TestDisconnectedQueryRejected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	query := b.MustBuild()
+	data := gen.Fig1Data()
+	if _, err := order.Preprocess(data, query, order.DefaultOptions()); err == nil {
+		t.Fatal("disconnected query accepted")
+	}
+}
+
+func TestTreeEdgeClassification(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tree edges + 2 non-tree edges = 6 query edges.
+	if tree.TreeEdgeCount() != 4 || tree.NTECount() != 2 {
+		t.Fatalf("tree=%d nte=%d", tree.TreeEdgeCount(), tree.NTECount())
+	}
+	// Every non-tree edge appears once as parent-side and once child-side.
+	parentSide, childSide := 0, 0
+	for u := range tree.NTEParents {
+		childSide += len(tree.NTEParents[u])
+		parentSide += len(tree.NTEChildren[u])
+	}
+	if parentSide != childSide || childSide != tree.NTECount() {
+		t.Fatalf("NTE bookkeeping inconsistent: %d vs %d", parentSide, childSide)
+	}
+}
+
+// TestOrdersAreTreeConsistent: every heuristic must place parents before
+// children — the invariant CECI's index relies on.
+func TestOrdersAreTreeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	heuristics := []order.Heuristic{
+		order.BFSOrder, order.LeastFrequent, order.PathRanked, order.EdgeRanked,
+	}
+	for trial := 0; trial < 40; trial++ {
+		data := randomGraph(rng, 20, 50, 3)
+		query, err := gen.DFSQuery(data, 2+rng.Intn(5), rng)
+		if err != nil {
+			continue
+		}
+		for _, h := range heuristics {
+			tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: -1, Heuristic: h})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, h, err)
+			}
+			if tree.Order[0] != tree.Root {
+				t.Fatalf("%v: order does not start at root", h)
+			}
+			seen := make([]bool, query.NumVertices())
+			for _, u := range tree.Order {
+				if p := tree.Parent[u]; p != order.NoParent && !seen[p] {
+					t.Fatalf("%v: vertex %d placed before its parent %d (order %v)", h, u, p, tree.Order)
+				}
+				seen[u] = true
+			}
+			// Pos must invert Order.
+			for i, u := range tree.Order {
+				if tree.Pos[u] != i {
+					t.Fatalf("%v: Pos not inverse of Order", h)
+				}
+			}
+			// NTE parents must precede their children in the order.
+			for u := range tree.NTEParents {
+				for _, p := range tree.NTEParents[u] {
+					if tree.Pos[p] >= tree.Pos[u] {
+						t.Fatalf("%v: NTE parent %d not before %d", h, p, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDepth := []int32{0, 1, 1, 2, 2}
+	for u, d := range tree.Depth {
+		if d != wantDepth[u] {
+			t.Fatalf("depth[u%d] = %d, want %d", u+1, d, wantDepth[u])
+		}
+	}
+}
+
+func TestCandidateFilters(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	// u3 (label C, degree 4): v4, v6 pass; v8 lacks an E neighbor (NLC);
+	// v10 fails the degree filter.
+	var got []graph.VertexID
+	order.ForEachCandidate(data, query, 2, func(v graph.VertexID) {
+		got = append(got, v)
+	})
+	want := []graph.VertexID{gen.Fig1V(4), gen.Fig1V(6)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("candidates(u3) = %v, want %v", got, want)
+	}
+}
+
+func TestCandidateCountMatchesForEach(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	for u := 0; u < query.NumVertices(); u++ {
+		n := 0
+		order.ForEachCandidate(data, query, graph.VertexID(u), func(graph.VertexID) { n++ })
+		if got := order.CandidateCount(data, query, graph.VertexID(u)); got != n {
+			t.Fatalf("u%d: count %d != foreach %d", u+1, got, n)
+		}
+	}
+}
+
+func TestEmptyQueryRejected(t *testing.T) {
+	data := gen.Fig1Data()
+	b := graph.NewBuilder(1)
+	single := b.MustBuild()
+	// A single-vertex query is connected and should preprocess fine.
+	tree, err := order.Preprocess(data, single, order.DefaultOptions())
+	if err != nil {
+		t.Fatalf("single vertex rejected: %v", err)
+	}
+	if len(tree.Order) != 1 {
+		t.Fatal("single-vertex order wrong")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	names := map[order.Heuristic]string{
+		order.BFSOrder:      "bfs",
+		order.LeastFrequent: "least-frequent",
+		order.PathRanked:    "path-ranked",
+		order.EdgeRanked:    "edge-ranked",
+	}
+	for h, want := range names {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), want)
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(labels)))
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}

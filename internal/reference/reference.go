@@ -1,0 +1,143 @@
+// Package reference provides a deliberately naive, obviously-correct
+// subgraph matcher in the spirit of Ullmann's 1976 algorithm: depth-first
+// assignment of query vertices in ID order with full edge verification
+// and no index, no pruning beyond labels and degrees, and no parallelism.
+//
+// It exists as the correctness oracle for every other matcher in the
+// repository (they are cross-validated against it on randomized small
+// graphs) and as the most basic baseline.
+package reference
+
+import (
+	"ceci/internal/auto"
+	"ceci/internal/graph"
+)
+
+// Options configures the reference matcher.
+type Options struct {
+	// Constraints, when non-nil, applies symmetry-breaking ordering
+	// rules so the count matches matchers that deduplicate
+	// automorphisms. When nil, every isomorphic mapping is listed.
+	Constraints *auto.Constraints
+	// Limit stops after this many embeddings (0 = all).
+	Limit int64
+}
+
+// FindAll enumerates embeddings of query in data, returning each as a
+// slice indexed by query vertex ID.
+func FindAll(data, query *graph.Graph, opts Options) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	ForEach(data, query, opts, func(emb []graph.VertexID) bool {
+		cp := make([]graph.VertexID, len(emb))
+		copy(cp, emb)
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of embeddings.
+func Count(data, query *graph.Graph, opts Options) int64 {
+	var n int64
+	ForEach(data, query, opts, func([]graph.VertexID) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// emit delivers the current embedding; reports whether to continue.
+func (s *state) emit() bool {
+	if s.opts.Limit > 0 && s.found >= s.opts.Limit {
+		return false
+	}
+	s.found++
+	if !s.fn(s.emb) {
+		return false
+	}
+	return s.opts.Limit == 0 || s.found < s.opts.Limit
+}
+
+// ForEach enumerates embeddings of query in data, calling fn for each.
+// The slice passed to fn is reused between calls: copy it to retain it.
+// fn returning false stops the search.
+func ForEach(data, query *graph.Graph, opts Options, fn func([]graph.VertexID) bool) {
+	n := query.NumVertices()
+	if n == 0 || n > data.NumVertices() {
+		return
+	}
+	s := &state{
+		data:    data,
+		query:   query,
+		opts:    opts,
+		fn:      fn,
+		emb:     make([]graph.VertexID, n),
+		matched: make([]bool, n),
+		used:    make([]bool, data.NumVertices()),
+	}
+	s.search(0)
+}
+
+type state struct {
+	data, query *graph.Graph
+	opts        Options
+	fn          func([]graph.VertexID) bool
+	emb         []graph.VertexID
+	matched     []bool
+	used        []bool
+	found       int64
+}
+
+func (s *state) search(u int) bool {
+	if u == s.query.NumVertices() {
+		return s.emit()
+	}
+	qu := graph.VertexID(u)
+	quDeg := s.query.Degree(qu)
+	for v := 0; v < s.data.NumVertices(); v++ {
+		dv := graph.VertexID(v)
+		if s.used[dv] {
+			continue
+		}
+		if !s.labelOK(qu, dv) || s.data.Degree(dv) < quDeg {
+			continue
+		}
+		if !s.edgesOK(qu, dv) {
+			continue
+		}
+		if s.opts.Constraints != nil && !s.opts.Constraints.Allows(qu, dv, s.emb, s.matched) {
+			continue
+		}
+		s.emb[qu] = dv
+		s.matched[qu] = true
+		s.used[dv] = true
+		ok := s.search(u + 1)
+		s.matched[qu] = false
+		s.used[dv] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// labelOK checks L_q(u) ⊆ L(v), the paper's label-containment semantics.
+func (s *state) labelOK(u, v graph.VertexID) bool {
+	for _, l := range s.query.Labels(u) {
+		if !s.data.HasLabel(v, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// edgesOK verifies every query edge between u and already-matched
+// vertices.
+func (s *state) edgesOK(u, v graph.VertexID) bool {
+	for _, w := range s.query.Neighbors(u) {
+		if s.matched[w] && !s.data.HasEdge(s.emb[w], v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package reference_test
+
+import (
+	"testing"
+
+	"ceci/internal/auto"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/reference"
+)
+
+func TestTriangleInTriangle(t *testing.T) {
+	tri := gen.QG1()
+	// A triangle contains 6 raw mappings of itself, 1 after symmetry.
+	if got := reference.Count(tri, tri, reference.Options{}); got != 6 {
+		t.Fatalf("raw = %d, want 6", got)
+	}
+	cons := auto.Compute(tri)
+	if got := reference.Count(tri, tri, reference.Options{Constraints: cons}); got != 1 {
+		t.Fatalf("constrained = %d, want 1", got)
+	}
+}
+
+func TestLabelContainmentSemantics(t *testing.T) {
+	// Data vertex with labels {1, 2} must match query vertices labeled 1
+	// or 2 (the paper's L_q(u) ⊆ L(f(u)) condition).
+	db := graph.NewBuilder(2)
+	db.SetLabel(0, 1)
+	db.AddExtraLabel(0, 2)
+	db.SetLabel(1, 3)
+	db.AddEdge(0, 1)
+	data := db.MustBuild()
+
+	qb := graph.NewBuilder(2)
+	qb.SetLabel(0, 2) // matches data 0 via the extra label
+	qb.SetLabel(1, 3)
+	qb.AddEdge(0, 1)
+	query := qb.MustBuild()
+
+	if got := reference.Count(data, query, reference.Options{}); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestQueryLargerThanData(t *testing.T) {
+	small := gen.QG1()
+	big := gen.QG5()
+	if got := reference.Count(small, big, reference.Options{}); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	k8 := complete(8)
+	got := reference.FindAll(k8, gen.QG1(), reference.Options{Limit: 10})
+	if len(got) != 10 {
+		t.Fatalf("limited to %d, want 10", len(got))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	k8 := complete(8)
+	calls := 0
+	reference.ForEach(k8, gen.QG1(), reference.Options{}, func([]graph.VertexID) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	got := reference.Count(gen.Fig1Data(), gen.Fig1Query(), reference.Options{})
+	if got != 2 {
+		t.Fatalf("Figure 1 count = %d, want 2", got)
+	}
+}
+
+func TestDegreeFilterCorrectness(t *testing.T) {
+	// A star query (center degree 3) cannot map its center to a degree-2
+	// data vertex.
+	qb := graph.NewBuilder(4)
+	qb.AddEdge(0, 1)
+	qb.AddEdge(0, 2)
+	qb.AddEdge(0, 3)
+	star := qb.MustBuild()
+
+	db := graph.NewBuilder(4)
+	db.AddEdge(0, 1)
+	db.AddEdge(0, 2)
+	path := db.MustBuild()
+	if got := reference.Count(path, star, reference.Options{}); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.MustBuild()
+}

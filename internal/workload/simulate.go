@@ -1,0 +1,52 @@
+package workload
+
+import "time"
+
+// SimulateWorkerTimes returns each worker's busy time when k workers
+// process units with the given costs under a distribution strategy.
+// Costs are in pool order (for FGD, already sorted largest-first by
+// Decompose).
+//
+//   - ST: units are preassigned round-robin; no re-adjustment
+//     (Section 4.2).
+//   - CGD / FGD: pull-based list scheduling — each unit goes to the
+//     worker that becomes free earliest, in pool order.
+//
+// This mirrors how the real ForEach schedules work, but over measured
+// per-unit durations, so speedup curves are host-core-count independent
+// (the per-worker series is what Figure 12 plots).
+func SimulateWorkerTimes(costs []time.Duration, workers int, strategy Strategy) []time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	finish := make([]time.Duration, workers)
+	switch strategy {
+	case ST:
+		for i, c := range costs {
+			finish[i%workers] += c
+		}
+	default:
+		for _, c := range costs {
+			earliest := 0
+			for w := 1; w < workers; w++ {
+				if finish[w] < finish[earliest] {
+					earliest = w
+				}
+			}
+			finish[earliest] += c
+		}
+	}
+	return finish
+}
+
+// SimulateMakespan returns the finishing time of the slowest worker — the
+// quantity whose inverse scaling the paper's speedup figures plot.
+func SimulateMakespan(costs []time.Duration, workers int, strategy Strategy) time.Duration {
+	var max time.Duration
+	for _, f := range SimulateWorkerTimes(costs, workers, strategy) {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}

@@ -1,0 +1,236 @@
+// Package workload implements the paper's workload distribution schemes
+// (Sections 4.2–4.3): static distribution (ST), coarse-grained dynamic
+// pull-based distribution (CGD), and fine-grained dynamic distribution
+// (FGD) with cardinality-driven ExtremeCluster decomposition
+// (Algorithm 3).
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ceci/internal/auto"
+	"ceci/internal/ceci"
+	"ceci/internal/graph"
+)
+
+// Strategy selects a distribution scheme.
+type Strategy int
+
+const (
+	// ST assigns an equal number of embedding clusters to each worker up
+	// front, with no re-adjustment.
+	ST Strategy = iota
+	// CGD lets idle workers pull whole clusters from a shared pool.
+	CGD
+	// FGD additionally decomposes ExtremeClusters — clusters whose
+	// cardinality exceeds β × expected-per-worker — into sub-clusters
+	// before pulling, and sorts the pool by descending cardinality so
+	// large units start first.
+	FGD
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case ST:
+		return "ST"
+	case CGD:
+		return "CGD"
+	case FGD:
+		return "FGD"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// DefaultBeta is the paper's workload-balancing default (§6.3 fixes
+// β = 0.2 for the Figure 11 experiments).
+const DefaultBeta = 0.2
+
+// Unit is a schedulable piece of the search space: a consistent prefix of
+// the matching order (Prefix[i] matches query vertex Order[i]) plus its
+// estimated workload. A depth-1 unit is a whole embedding cluster.
+type Unit struct {
+	Prefix []graph.VertexID
+	Card   int64
+}
+
+// Clusters returns one depth-1 unit per pivot, in pivot order.
+func Clusters(ix *ceci.Index) []Unit {
+	pivots := ix.Pivots()
+	units := make([]Unit, 0, len(pivots))
+	for _, p := range pivots {
+		units = append(units, Unit{Prefix: []graph.VertexID{p}, Card: ix.ClusterCardinality(p)})
+	}
+	return units
+}
+
+// Decompose implements Algorithm 3: every unit whose workload exceeds
+// β × (total/workers) is recursively split along the matching order into
+// per-matching-node sub-units. Injectivity and symmetry-breaking
+// constraints are honored during splitting so the resulting units
+// partition exactly the search space the enumerator would explore.
+func Decompose(ix *ceci.Index, cons *auto.Constraints, beta float64, workers int) []Unit {
+	units := Clusters(ix)
+	if workers <= 1 {
+		return units
+	}
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
+	var total int64
+	for _, u := range units {
+		total += u.Card
+	}
+	if total <= 0 {
+		return units
+	}
+	threshold := beta * float64(total) / float64(workers)
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	d := decomposer{
+		ix:        ix,
+		cons:      cons,
+		threshold: threshold,
+		m:         make([]graph.VertexID, ix.Tree.NumVertices()),
+		matched:   make([]bool, ix.Tree.NumVertices()),
+	}
+	out := make([]Unit, 0, len(units))
+	for _, u := range units {
+		out = d.split(out, u.Prefix, float64(u.Card))
+	}
+	// Largest units first smooths worker finishing times (§4.3).
+	sort.Slice(out, func(i, j int) bool { return out[i].Card > out[j].Card })
+	return out
+}
+
+type decomposer struct {
+	ix        *ceci.Index
+	cons      *auto.Constraints
+	threshold float64
+	m         []graph.VertexID
+	matched   []bool
+	scratch   ceci.MatchScratch
+}
+
+// split appends to out either the unit itself (small enough or fully
+// expanded) or its recursively decomposed sub-units.
+func (d *decomposer) split(out []Unit, prefix []graph.VertexID, work float64) []Unit {
+	tree := d.ix.Tree
+	depth := len(prefix)
+	if work <= d.threshold || depth == tree.NumVertices() {
+		return append(out, Unit{Prefix: prefix, Card: int64(work + 0.5)})
+	}
+
+	// Install the prefix into the scratch embedding. Recursive calls
+	// work on superset prefixes and clear their flags on return, so the
+	// caller re-installs after each recursion (see below).
+	d.install(prefix)
+	defer func() {
+		for i := range prefix {
+			d.matched[tree.Order[i]] = false
+		}
+	}()
+
+	uNext := tree.Order[depth]
+	matching := d.ix.CandidatesFor(uNext, d.m, &d.scratch)
+
+	// Filter to assignments the enumerator would actually make, and
+	// collect their cardinalities for proportional workload split.
+	type cand struct {
+		v graph.VertexID
+		c int64
+	}
+	cands := make([]cand, 0, len(matching))
+	var total int64
+	for _, v := range matching {
+		if d.used(prefix, v) {
+			continue
+		}
+		if d.cons != nil && !d.cons.Allows(uNext, v, d.m, d.matched) {
+			continue
+		}
+		c := d.ix.Nodes[uNext].Card[v]
+		if c <= 0 {
+			c = 1 // refinement disabled or stale: keep a floor
+		}
+		cands = append(cands, cand{v, c})
+		total += c
+	}
+	if len(cands) == 0 {
+		// The unit is a dead end; keep it so accounting stays simple —
+		// it costs one candidate lookup at run time.
+		return append(out, Unit{Prefix: prefix, Card: 0})
+	}
+	for _, c := range cands {
+		myWork := work * float64(c.c) / float64(total)
+		sub := make([]graph.VertexID, depth+1)
+		copy(sub, prefix)
+		sub[depth] = c.v
+		if myWork <= d.threshold {
+			out = append(out, Unit{Prefix: sub, Card: int64(myWork + 0.5)})
+		} else {
+			out = d.split(out, sub, myWork)
+			// The recursion cleared the matched flags of its (superset)
+			// prefix; restore ours for the remaining loop iterations.
+			d.install(prefix)
+		}
+	}
+	return out
+}
+
+func (d *decomposer) install(prefix []graph.VertexID) {
+	tree := d.ix.Tree
+	for i, v := range prefix {
+		u := tree.Order[i]
+		d.m[u] = v
+		d.matched[u] = true
+	}
+}
+
+func (d *decomposer) used(prefix []graph.VertexID, v graph.VertexID) bool {
+	for _, p := range prefix {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Pool is a shared work pool workers pull from (the classical pull-based
+// dynamic model the paper cites). Safe for concurrent Next calls.
+type Pool struct {
+	units  []Unit
+	cursor atomic.Int64
+}
+
+// NewPool wraps units in a pool.
+func NewPool(units []Unit) *Pool { return &Pool{units: units} }
+
+// Next returns the next unit, or false when the pool is drained.
+func (p *Pool) Next() (Unit, bool) {
+	i := p.cursor.Add(1) - 1
+	if i >= int64(len(p.units)) {
+		return Unit{}, false
+	}
+	return p.units[i], true
+}
+
+// Len returns the total number of units.
+func (p *Pool) Len() int { return len(p.units) }
+
+// Partition splits units into k static groups round-robin (ST). Workers
+// own their group exclusively.
+func Partition(units []Unit, k int) [][]Unit {
+	if k < 1 {
+		k = 1
+	}
+	groups := make([][]Unit, k)
+	for i, u := range units {
+		groups[i%k] = append(groups[i%k], u)
+	}
+	return groups
+}
