@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt experiments experiments-quick examples clean
+.PHONY: build test race bench vet fmt ci experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# What .github/workflows/ci.yml runs: vet + build + full tests, then a
+# race pass over the concurrency-heavy packages.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/enum ./internal/cluster ./internal/obs ./internal/stats
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

@@ -27,11 +27,13 @@ import (
 	"os"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"ceci/internal/auto"
 	icec "ceci/internal/ceci"
 	"ceci/internal/enum"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/stats"
 	"ceci/internal/workload"
@@ -51,6 +53,22 @@ type (
 	// Stats carries instrumentation counters across a run.
 	Stats = stats.Counters
 )
+
+// Observability types, aliased from the internal obs layer.
+type (
+	// Tracer records a hierarchical tree of timed spans
+	// (preprocess → build → refine → enumerate → cluster).
+	Tracer = obs.Tracer
+	// TracerOptions configures a Tracer (child caps, JSONL event log).
+	TracerOptions = obs.TracerOptions
+	// Progress is one live snapshot of an enumeration.
+	Progress = obs.Progress
+	// ProgressFunc receives Progress snapshots at Options.ProgressInterval.
+	ProgressFunc = obs.ProgressFunc
+)
+
+// NewTracer returns a span tracer to attach to Options.Tracer.
+func NewTracer(opts TracerOptions) *Tracer { return obs.NewTracer(opts) }
 
 // Strategy selects how embedding clusters are distributed across workers
 // (Sections 4.2–4.3 of the paper).
@@ -137,6 +155,17 @@ type Options struct {
 	RefineRounds int
 	// Stats, when non-nil, accumulates instrumentation counters.
 	Stats *Stats
+	// Tracer, when non-nil, records hierarchical spans for every phase
+	// (preprocess, build with refine children, enumerate with per-cluster
+	// children). One tracer may be shared across queries.
+	Tracer *Tracer
+	// Progress, when non-nil, is invoked every ProgressInterval during
+	// enumeration — and once more when it finishes (Progress.Final) —
+	// with live cluster/embedding counts, rates, per-worker busy time,
+	// and a cardinality-derived ETA.
+	Progress ProgressFunc
+	// ProgressInterval is the reporting period (default 1s).
+	ProgressInterval time.Duration
 }
 
 func (o *Options) normalized() Options {
@@ -175,10 +204,12 @@ func Match(data, query *Graph, opts *Options) (*Matcher, error) {
 	if o.Root != nil {
 		forcedRoot = int(*o.Root)
 	}
+	psp := o.Tracer.Start("preprocess")
 	tree, err := order.Preprocess(data, query, order.Options{
 		ForcedRoot: forcedRoot,
 		Heuristic:  o.Order,
 	})
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +217,7 @@ func Match(data, query *Graph, opts *Options) (*Matcher, error) {
 		Workers:      o.Workers,
 		RefineRounds: o.RefineRounds,
 		Stats:        o.Stats,
+		Tracer:       o.Tracer,
 	})
 	m := enum.NewMatcher(ix, enum.Options{
 		Workers:                 o.Workers,
@@ -195,8 +227,19 @@ func Match(data, query *Graph, opts *Options) (*Matcher, error) {
 		EdgeVerification:        o.EdgeVerification,
 		DisableSymmetryBreaking: o.KeepAutomorphisms,
 		Stats:                   o.Stats,
+		Trace:                   o.Tracer,
+		Progress:                o.reporter(),
 	})
 	return &Matcher{inner: m, index: ix, opts: o}, nil
+}
+
+// reporter builds the live-progress reporter for a run, nil when no
+// ProgressFunc is configured.
+func (o *Options) reporter() *obs.Reporter {
+	if o == nil || o.Progress == nil {
+		return nil
+	}
+	return obs.NewReporter(o.Progress, o.ProgressInterval)
 }
 
 // Count enumerates and returns the number of embeddings (respecting
@@ -296,10 +339,12 @@ func ForEachIncremental(data, query *Graph, opts *Options, fn func(embedding []V
 	if o.Root != nil {
 		forcedRoot = int(*o.Root)
 	}
+	psp := o.Tracer.Start("preprocess")
 	tree, err := order.Preprocess(data, query, order.Options{
 		ForcedRoot: forcedRoot,
 		Heuristic:  o.Order,
 	})
+	psp.End()
 	if err != nil {
 		return err
 	}
@@ -311,6 +356,8 @@ func ForEachIncremental(data, query *Graph, opts *Options, fn func(embedding []V
 			EdgeVerification:        o.EdgeVerification,
 			DisableSymmetryBreaking: o.KeepAutomorphisms,
 			Stats:                   o.Stats,
+			Trace:                   o.Tracer,
+			Progress:                o.reporter(),
 		}, fn)
 	return nil
 }

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ceci/internal/obs"
 )
 
 type benchConfig struct {
@@ -60,8 +62,21 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced datasets and query counts")
 		large   = flag.Bool("large", false, "include the largest substitutes (fs_s, yh_s) where skipped by default")
 		workers = flag.Int("workers", 32, "simulated worker-count ceiling for scalability figures")
+		listen  = flag.String("listen", "", "serve telemetry (/metrics, /metrics.json, /debug/pprof) on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		// Long experiment sweeps are exactly when a pprof profile or a
+		// runtime-gauge scrape is wanted; serve for the process lifetime.
+		srv, err := obs.Serve(*listen, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cecibench: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/\n", srv.Addr())
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -6,11 +6,15 @@
 //	cecirun -data graph.lg -query query.lg
 //	cecirun -data graph.edges -qg QG3 -workers 8 -strategy fgd
 //	cecirun -dataset lj_s -qg QG1 -limit 1024 -print
+//	cecirun -dataset yt_s -qg QG4 -progress 2s -listen :9090 -stats
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -19,53 +23,83 @@ import (
 	"ceci"
 	"ceci/internal/datasets"
 	"ceci/internal/gen"
+	"ceci/internal/obs"
 )
 
+// runConfig carries every cecirun option; flags map onto it 1:1.
+type runConfig struct {
+	dataPath  string
+	dataset   string
+	queryPath string
+	qg        string
+	workers   int
+	limit     int64
+	strategy  string
+	beta      float64
+	orderName string
+	edgeVerif bool
+	printEmbs bool
+	verbose   bool
+	explain   bool
+
+	// Observability.
+	statsJSON     bool          // -stats: dump counters + span tree as JSON to stderr
+	listen        string        // -listen: serve /metrics, /metrics.json, /trace, /debug/pprof
+	progressEvery time.Duration // -progress: print live progress lines to stderr
+	tracePath     string        // -trace: write the JSONL span event log here
+
+	errw io.Writer // defaults to os.Stderr; tests capture it
+}
+
 func main() {
-	var (
-		dataPath  = flag.String("data", "", "data graph file (.lg labeled, else edge list)")
-		dataset   = flag.String("dataset", "", "built-in dataset substitute (alternative to -data)")
-		queryPath = flag.String("query", "", "query graph file")
-		qg        = flag.String("qg", "", "built-in query graph: QG1..QG5 (alternative to -query)")
-		workers   = flag.Int("workers", 0, "worker count (0 = all cores)")
-		limit     = flag.Int64("limit", 0, "stop after this many embeddings (0 = all)")
-		strategy  = flag.String("strategy", "fgd", "workload strategy: st | cgd | fgd")
-		beta      = flag.Float64("beta", 0.2, "extreme-cluster threshold factor")
-		orderName = flag.String("order", "bfs", "matching order: bfs | least-frequent | path-ranked | edge-ranked")
-		edgeVerif = flag.Bool("edge-verification", false, "ablation: verify non-tree edges by adjacency probes")
-		printEmbs = flag.Bool("print", false, "print each embedding")
-		verbose   = flag.Bool("v", false, "print index statistics and counters")
-		explain   = flag.Bool("explain", false, "print the query plan before running")
-	)
+	cfg := runConfig{}
+	flag.StringVar(&cfg.dataPath, "data", "", "data graph file (.lg labeled, else edge list)")
+	flag.StringVar(&cfg.dataset, "dataset", "", "built-in dataset substitute (alternative to -data)")
+	flag.StringVar(&cfg.queryPath, "query", "", "query graph file")
+	flag.StringVar(&cfg.qg, "qg", "", "built-in query graph: QG1..QG5 (alternative to -query)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker count (0 = all cores)")
+	flag.Int64Var(&cfg.limit, "limit", 0, "stop after this many embeddings (0 = all)")
+	flag.StringVar(&cfg.strategy, "strategy", "fgd", "workload strategy: st | cgd | fgd")
+	flag.Float64Var(&cfg.beta, "beta", 0.2, "extreme-cluster threshold factor")
+	flag.StringVar(&cfg.orderName, "order", "bfs", "matching order: bfs | least-frequent | path-ranked | edge-ranked")
+	flag.BoolVar(&cfg.edgeVerif, "edge-verification", false, "ablation: verify non-tree edges by adjacency probes")
+	flag.BoolVar(&cfg.printEmbs, "print", false, "print each embedding")
+	flag.BoolVar(&cfg.verbose, "v", false, "print index statistics and counters")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the query plan before running")
+	flag.BoolVar(&cfg.statsJSON, "stats", false, "print the final counter snapshot and span tree as JSON to stderr")
+	flag.StringVar(&cfg.listen, "listen", "", "serve telemetry (/metrics, /metrics.json, /trace, /debug/pprof) on this address")
+	flag.DurationVar(&cfg.progressEvery, "progress", 0, "print live progress to stderr at this interval (0 = off)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write the JSONL span event log to this file")
 	flag.Parse()
 
-	if err := run(*dataPath, *dataset, *queryPath, *qg, *workers, *limit,
-		*strategy, *beta, *orderName, *edgeVerif, *printEmbs, *verbose, *explain); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cecirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
-	strategy string, beta float64, orderName string, edgeVerif, printEmbs, verbose, explain bool) error {
+func run(cfg runConfig) error {
+	if cfg.errw == nil {
+		cfg.errw = os.Stderr
+	}
 
-	data, err := loadData(dataPath, dataset)
+	data, err := loadData(cfg.dataPath, cfg.dataset)
 	if err != nil {
 		return err
 	}
-	query, err := loadQuery(queryPath, qg)
+	query, err := loadQuery(cfg.queryPath, cfg.qg)
 	if err != nil {
 		return err
 	}
 
 	opts := &ceci.Options{
-		Workers:          workers,
-		Limit:            limit,
-		Beta:             beta,
-		EdgeVerification: edgeVerif,
+		Workers:          cfg.workers,
+		Limit:            cfg.limit,
+		Beta:             cfg.beta,
+		EdgeVerification: cfg.edgeVerif,
 		Stats:            &ceci.Stats{},
 	}
-	switch strings.ToLower(strategy) {
+	switch strings.ToLower(cfg.strategy) {
 	case "st":
 		opts.Strategy = ceci.StrategyStatic
 	case "cgd":
@@ -73,9 +107,9 @@ func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
 	case "fgd", "":
 		opts.Strategy = ceci.StrategyFine
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", cfg.strategy)
 	}
-	switch strings.ToLower(orderName) {
+	switch strings.ToLower(cfg.orderName) {
 	case "bfs", "":
 		opts.Order = ceci.OrderBFS
 	case "least-frequent":
@@ -85,7 +119,52 @@ func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
 	case "edge-ranked":
 		opts.Order = ceci.OrderEdgeRanked
 	default:
-		return fmt.Errorf("unknown order %q", orderName)
+		return fmt.Errorf("unknown order %q", cfg.orderName)
+	}
+
+	// Observability wiring: tracer (with optional JSONL log), live
+	// progress printing, and the telemetry endpoint.
+	tropts := ceci.TracerOptions{}
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if cfg.tracePath != "" {
+		traceFile, err = os.Create(cfg.tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		traceBuf = bufio.NewWriter(traceFile)
+		tropts.JSONL = traceBuf
+	}
+	opts.Tracer = ceci.NewTracer(tropts)
+	defer func() {
+		if traceBuf != nil {
+			traceBuf.Flush()
+			traceFile.Close()
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	reg.SetCounters(opts.Stats)
+	reg.SetTracer(opts.Tracer)
+	var progressPrint ceci.ProgressFunc
+	if cfg.progressEvery > 0 {
+		opts.ProgressInterval = cfg.progressEvery
+		errw := cfg.errw
+		progressPrint = func(p ceci.Progress) {
+			fmt.Fprintf(errw, "progress: clusters %d/%d  embeddings %d (%.0f/s)  eta %v\n",
+				p.ClustersDone, p.ClustersTotal, p.Embeddings, p.EmbeddingsPerSec, p.ETA.Round(time.Millisecond))
+		}
+	}
+	if cfg.progressEvery > 0 || cfg.listen != "" {
+		opts.Progress = reg.ProgressFunc(progressPrint)
+	}
+	if cfg.listen != "" {
+		srv, err := obs.Serve(cfg.listen, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(cfg.errw, "telemetry: http://%s/\n", srv.Addr())
 	}
 
 	fmt.Printf("data:  %v\n", data)
@@ -98,7 +177,7 @@ func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
 	}
 	buildTime := time.Since(buildStart)
 
-	if explain {
+	if cfg.explain {
 		fmt.Println()
 		fmt.Print(m.Explain())
 		fmt.Println()
@@ -106,7 +185,7 @@ func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
 
 	enumStart := time.Now()
 	var count int64
-	if printEmbs {
+	if cfg.printEmbs {
 		var mu sync.Mutex
 		m.ForEach(func(emb []ceci.VertexID) bool {
 			mu.Lock()
@@ -123,7 +202,7 @@ func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
 	fmt.Printf("embeddings: %d\n", count)
 	fmt.Printf("build:      %v\n", buildTime)
 	fmt.Printf("enumerate:  %v\n", enumTime)
-	if verbose {
+	if cfg.verbose {
 		info := m.IndexInfo()
 		fmt.Printf("index: pivots=%d candidate-edges=%d size=%dB theoretical=%dB saved=%.1f%%\n",
 			info.Pivots, info.CandidateEdges, info.SizeBytes,
@@ -135,7 +214,27 @@ func run(dataPath, dataset, queryPath, qg string, workers int, limit int64,
 			}
 		}
 	}
+	if cfg.statsJSON {
+		if err := writeStatsJSON(cfg.errw, opts); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeStatsJSON dumps the final counter snapshot and span tree as one
+// JSON document, machine-readable from stderr.
+func writeStatsJSON(w io.Writer, opts *ceci.Options) error {
+	doc := map[string]any{
+		"counters": opts.Stats.Snapshot(),
+		"trace":    opts.Tracer.Tree(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
 }
 
 func loadData(path, dataset string) (*ceci.Graph, error) {

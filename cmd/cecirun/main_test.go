@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"ceci"
 	"ceci/internal/gen"
@@ -33,36 +37,133 @@ func writeFixtures(t *testing.T) (dataPath, queryPath string) {
 func TestRunFromFiles(t *testing.T) {
 	dataPath, queryPath := writeFixtures(t)
 	for _, strategy := range []string{"st", "cgd", "fgd"} {
-		if err := run(dataPath, "", queryPath, "", 1, 0, strategy, 0.2, "bfs", false, false, true, true); err != nil {
+		cfg := runConfig{
+			dataPath: dataPath, queryPath: queryPath,
+			workers: 1, strategy: strategy, beta: 0.2, orderName: "bfs",
+			verbose: true, explain: true,
+		}
+		if err := run(cfg); err != nil {
 			t.Fatalf("strategy %s: %v", strategy, err)
 		}
 	}
 }
 
 func TestRunBuiltins(t *testing.T) {
-	if err := run("", "yt_s", "", "QG1", 2, 100, "fgd", 0.2, "least-frequent", false, false, false, false); err != nil {
+	cfg := runConfig{
+		dataset: "yt_s", qg: "QG1",
+		workers: 2, limit: 100, strategy: "fgd", beta: 0.2, orderName: "least-frequent",
+	}
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunStatsJSON(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	var stderr bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		statsJSON: true, errw: &stderr,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Trace    []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(stderr.Bytes(), &doc); err != nil {
+		t.Fatalf("-stats output is not valid JSON: %v\n%s", err, stderr.String())
+	}
+	if doc.Counters["embeddings"] <= 0 {
+		t.Fatalf("embeddings counter = %d, want > 0", doc.Counters["embeddings"])
+	}
+	names := map[string]bool{}
+	for _, s := range doc.Trace {
+		names[s.Name] = true
+		for _, c := range s.Children {
+			names[c.Name] = true
+		}
+	}
+	for _, want := range []string{"preprocess", "build", "refine", "enumerate"} {
+		if !names[want] {
+			t.Fatalf("span %q missing from trace: %v", want, names)
+		}
+	}
+}
+
+func TestRunProgressAndTrace(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var stderr bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 2, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		progressEvery: time.Millisecond, tracePath: tracePath, errw: &stderr,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "progress: clusters") {
+		t.Fatalf("no progress lines in stderr: %q", stderr.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace log too short: %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+	}
+}
+
+func TestRunListen(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	var stderr bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		listen: "127.0.0.1:0", errw: &stderr,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "telemetry: http://") {
+		t.Fatalf("no telemetry banner: %q", stderr.String())
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	dataPath, queryPath := writeFixtures(t)
 	cases := []struct {
-		name                     string
-		data, dataset, query, qg string
-		strategy, order          string
+		name string
+		cfg  runConfig
 	}{
-		{"no data", "", "", queryPath, "", "fgd", "bfs"},
-		{"both data", dataPath, "yt_s", queryPath, "", "fgd", "bfs"},
-		{"no query", dataPath, "", "", "", "fgd", "bfs"},
-		{"both query", dataPath, "", queryPath, "QG1", "fgd", "bfs"},
-		{"bad qg", dataPath, "", "", "QG9", "fgd", "bfs"},
-		{"bad strategy", dataPath, "", queryPath, "", "warp", "bfs"},
-		{"bad order", dataPath, "", queryPath, "", "fgd", "chaos"},
-		{"bad dataset", "", "nope", queryPath, "", "fgd", "bfs"},
+		{"no data", runConfig{queryPath: queryPath, strategy: "fgd", orderName: "bfs"}},
+		{"both data", runConfig{dataPath: dataPath, dataset: "yt_s", queryPath: queryPath, strategy: "fgd", orderName: "bfs"}},
+		{"no query", runConfig{dataPath: dataPath, strategy: "fgd", orderName: "bfs"}},
+		{"both query", runConfig{dataPath: dataPath, queryPath: queryPath, qg: "QG1", strategy: "fgd", orderName: "bfs"}},
+		{"bad qg", runConfig{dataPath: dataPath, qg: "QG9", strategy: "fgd", orderName: "bfs"}},
+		{"bad strategy", runConfig{dataPath: dataPath, queryPath: queryPath, strategy: "warp", orderName: "bfs"}},
+		{"bad order", runConfig{dataPath: dataPath, queryPath: queryPath, strategy: "fgd", orderName: "chaos"}},
+		{"bad dataset", runConfig{dataset: "nope", queryPath: queryPath, strategy: "fgd", orderName: "bfs"}},
 	}
 	for _, c := range cases {
-		if err := run(c.data, c.dataset, c.query, c.qg, 1, 0, c.strategy, 0.2, c.order, false, false, false, false); err == nil {
+		c.cfg.workers = 1
+		c.cfg.beta = 0.2
+		if err := run(c.cfg); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/setops"
 )
@@ -20,6 +21,9 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 	if opts.RefineRounds <= 0 {
 		opts.RefineRounds = 1
 	}
+	span := opts.Tracer.Start("build",
+		obs.Int("query_vertices", int64(tree.NumVertices())))
+	defer span.End()
 	ix := &Index{
 		Data:  data,
 		Tree:  tree,
@@ -44,16 +48,20 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 
 	// Expand every non-root query vertex in matching order: first its
 	// tree edge, then each incoming non-tree edge.
+	esp := span.Child("expand", obs.Int("pivots", int64(len(ix.Nodes[root].Cands))))
 	for _, u := range tree.Order[1:] {
 		ix.buildTE(u)
 		ix.buildNTE(u)
 	}
+	esp.End()
 
 	if opts.SkipRefinement {
 		ix.optimisticCardinalities()
 	} else {
 		for round := 0; round < opts.RefineRounds; round++ {
+			rsp := span.Child("refine", obs.Int("round", int64(round)))
 			ix.refine()
+			rsp.End()
 		}
 	}
 	if opts.Stats != nil {

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/stats"
 )
@@ -78,6 +79,9 @@ type Options struct {
 	// build, every adjacency-list fetch increments Stats.RemoteReads so
 	// the shared-storage cost model can charge IO per access.
 	Stats *stats.Counters
+	// Tracer, when non-nil, records a "build" span with "expand" and
+	// per-round "refine" children.
+	Tracer *obs.Tracer
 }
 
 // Pivots returns the cluster pivots: the surviving candidates of the root

@@ -41,6 +41,7 @@ import (
 	"ceci/internal/ceci"
 	"ceci/internal/enum"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/setops"
 	"ceci/internal/stats"
@@ -90,8 +91,36 @@ type Config struct {
 	JaccardTopK int
 	// Beta is the FGD ExtremeCluster threshold within each machine.
 	Beta float64
-	// Stats receives global counters (may be nil).
+	// Stats receives global counters (may be nil). Steal attempts,
+	// embeddings, remote reads, and (TCP mode) wire bytes and message
+	// counts are added live as machines progress, so an attached
+	// telemetry endpoint sees them mid-run.
 	Stats *stats.Counters
+	// Tracer records per-machine build/enumerate spans (may be nil).
+	Tracer *obs.Tracer
+	// Obs, when non-nil, is wired to the run: Stats become its counter
+	// set, the tracer is attached, and a "cluster" gauge source exposes
+	// per-machine pending-queue depth (and, in TCP mode, stolen-cluster
+	// counts) for mid-run scraping.
+	Obs *obs.Registry
+}
+
+// wireObs connects the registry to this run's stats/tracer, creating a
+// counter set when the caller supplied neither.
+func (c *Config) wireObs() {
+	if c.Obs == nil {
+		return
+	}
+	if existing := c.Obs.Counters(); c.Stats == nil && existing != nil {
+		c.Stats = existing
+	}
+	if c.Stats == nil {
+		c.Stats = &stats.Counters{}
+	}
+	c.Obs.SetCounters(c.Stats)
+	if c.Tracer != nil {
+		c.Obs.SetTracer(c.Tracer)
+	}
 }
 
 func (c *Config) defaults() error {
@@ -151,6 +180,11 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	cfg.wireObs()
+	runSpan := cfg.Tracer.Start("cluster-run",
+		obs.Int("machines", int64(cfg.Machines)),
+		obs.String("mode", cfg.Mode.String()))
+	defer runSpan.End()
 	tree, err := order.Preprocess(data, query, order.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -175,10 +209,22 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 			tree:   tree,
 			cons:   cons,
 			ledger: &res.Machines[i],
+			span:   runSpan.Child("machine", obs.Int("id", int64(i))),
 		}
 	}
 	// Shared steal registry: pending (machine, pivot-queue) state.
 	reg := &stealRegistry{queues: make([]pivotQueue, cfg.Machines)}
+	if cfg.Obs != nil {
+		// Per-machine pending-queue depth, scrapeable mid-run.
+		cfg.Obs.SetSource("cluster", func() map[string]int64 {
+			out := make(map[string]int64, len(reg.queues)+1)
+			out["machines"] = int64(len(reg.queues))
+			for i := range reg.queues {
+				out[fmt.Sprintf("machine_%d_pending", i)] = int64(reg.queues[i].size())
+			}
+			return out
+		})
+	}
 	for i, p := range parts {
 		reg.queues[i].pivots = p
 		res.Machines[i].Pivots = len(p)
@@ -213,10 +259,8 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 			res.Makespan = t
 		}
 	}
-	if cfg.Stats != nil {
-		cfg.Stats.AddEmbeddings(res.Embeddings)
-		cfg.Stats.StealAttempts.Add(res.Steals)
-	}
+	// Embeddings, steals, and remote reads were added to cfg.Stats live,
+	// per pivot/steal, inside machine.run.
 	return res, nil
 }
 
@@ -375,13 +419,16 @@ type machine struct {
 	tree   *order.QueryTree
 	cons   *auto.Constraints
 	ledger *Ledger
+	span   *obs.Span
 }
 
 func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.Int64) {
+	defer m.span.End()
 	q := &reg.queues[m.id]
 
 	// Phase 1: build the local CECI over this machine's pivot partition.
 	st := &stats.Counters{}
+	bsp := m.span.Child("build")
 	start := time.Now()
 	q.mu.Lock()
 	myPivots := append([]graph.VertexID(nil), q.pivots...)
@@ -394,8 +441,12 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 			Stats:   st,
 		})
 	}
+	bsp.End()
 	m.ledger.BuildCompute = time.Since(start)
 	m.ledger.RemoteReads = st.RemoteReads.Load()
+	if g := m.cfg.Stats; g != nil {
+		g.RemoteReads.Add(m.ledger.RemoteReads)
+	}
 
 	switch m.cfg.Mode {
 	case SharedStorage:
@@ -412,6 +463,8 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	q.mu.Unlock()
 
 	// Phase 2: enumerate local clusters, then steal.
+	esp := m.span.Child("enumerate")
+	defer esp.End()
 	enumStart := time.Now()
 	var found int64
 	runPivot := func(ix *ceci.Index, pivot graph.VertexID) {
@@ -421,7 +474,12 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 			Strategy: workload.FGD,
 			Beta:     m.cfg.Beta,
 		})
-		found += matcher.Count()
+		n := matcher.Count()
+		found += n
+		// Live accounting: the totals and global counters advance per
+		// cluster, not at machine exit, so telemetry tracks the run.
+		total.Add(n)
+		m.cfg.Stats.AddEmbeddings(n)
 	}
 	for {
 		pivot, ok := q.pop()
@@ -456,11 +514,13 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 		m.ledger.MessagesSent++
 		m.ledger.Stolen++
 		steals.Add(1)
+		if g := m.cfg.Stats; g != nil {
+			g.StealAttempts.Add(1)
+		}
 		runPivot(vix, pivot)
 	}
 	m.ledger.Enumerate = time.Since(enumStart)
 	m.ledger.Embeddings = found
-	total.Add(found)
 }
 
 // restrictIndex views ix through a single pivot without copying: the

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"ceci/internal/cluster"
 	"ceci/internal/gen"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/reference"
 )
 
@@ -311,5 +313,69 @@ func TestRunDiskSharedMatchesOracle(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRunObservability: an attached registry must expose the in-process
+// run's counters, span tree, and per-machine queue gauges.
+func TestRunObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.TracerOptions{})
+	data := gen.Kronecker(9, 6, 3)
+	res, err := cluster.Run(data, gen.QG1(), cluster.Config{
+		Machines: 3, WorkersPerMachine: 1, Obs: reg, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counters()
+	if c == nil {
+		t.Fatal("registry has no counters after run")
+	}
+	if got := c.Embeddings.Load(); got != res.Embeddings {
+		t.Fatalf("live embeddings = %d, result = %d", got, res.Embeddings)
+	}
+	phases := tr.PhaseDurations()
+	for _, want := range []string{"cluster-run", "machine", "build", "enumerate"} {
+		if phases[want] <= 0 {
+			t.Fatalf("phase %q missing: %v", want, phases)
+		}
+	}
+	prom := reg.PrometheusText()
+	for _, want := range []string{"ceci_cluster_machines 3", "ceci_cluster_machine_0_pending", "ceci_embeddings_total"} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("missing %q in scrape:\n%s", want, prom)
+		}
+	}
+}
+
+// TestRunTCPObservability: wire traffic and steals must be visible live
+// through the registry, not just in the final ledgers.
+func TestRunTCPObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.TracerOptions{})
+	data := gen.Kronecker(9, 6, 3)
+	res, err := cluster.RunTCP(data, gen.QG1(), cluster.Config{
+		Machines: 3, WorkersPerMachine: 1, Obs: reg, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counters()
+	if c.BytesOnWire.Load() == 0 || c.MessagesSent.Load() == 0 {
+		t.Fatalf("wire counters empty: bytes=%d msgs=%d",
+			c.BytesOnWire.Load(), c.MessagesSent.Load())
+	}
+	if got := c.Embeddings.Load(); got != res.Embeddings {
+		t.Fatalf("live embeddings = %d, result = %d", got, res.Embeddings)
+	}
+	phases := tr.PhaseDurations()
+	for _, want := range []string{"tcp-run", "machine", "cluster"} {
+		if phases[want] <= 0 {
+			t.Fatalf("phase %q missing: %v", want, phases)
+		}
+	}
+	if !strings.Contains(reg.PrometheusText(), "ceci_cluster_machines 3") {
+		t.Fatal("cluster gauge source missing from scrape")
 	}
 }

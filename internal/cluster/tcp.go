@@ -12,7 +12,9 @@ import (
 	"ceci/internal/ceci"
 	"ceci/internal/enum"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/stats"
 	"ceci/internal/workload"
 )
 
@@ -36,6 +38,9 @@ func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	cfg.wireObs()
+	runSpan := cfg.Tracer.Start("tcp-run", obs.Int("machines", int64(cfg.Machines)))
+	defer runSpan.End()
 	tree, err := order.Preprocess(data, query, order.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -57,10 +62,16 @@ func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
 	coord := &coordinator{
 		queues: make([][]graph.VertexID, cfg.Machines),
 		result: &Result{Machines: make([]Ledger, cfg.Machines)},
+		stats:  cfg.Stats,
 	}
 	for i, p := range parts {
 		coord.queues[i] = append([]graph.VertexID(nil), p...)
 		coord.result.Machines[i].Pivots = len(p)
+	}
+	if cfg.Obs != nil {
+		// Per-machine pending/stolen counts straight off the coordinator,
+		// scrapeable while machines are pulling work over TCP.
+		cfg.Obs.SetSource("cluster", coord.telemetry)
 	}
 
 	// Machines: separate goroutines, but every interaction goes through
@@ -71,7 +82,9 @@ func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if err := runTCPMachine(id, ln.Addr().String(), data, tree, cons, cfg); err != nil {
+			msp := runSpan.Child("machine", obs.Int("id", int64(id)))
+			defer msp.End()
+			if err := runTCPMachine(id, ln.Addr().String(), data, tree, cons, cfg, msp); err != nil {
 				errs <- fmt.Errorf("machine %d: %w", id, err)
 			}
 		}(id)
@@ -136,6 +149,21 @@ type coordinator struct {
 	result *Result
 	total  atomic.Int64
 	steals atomic.Int64
+	stats  *stats.Counters // live global counters (may be nil)
+}
+
+// telemetry is the mid-run gauge source for an attached obs.Registry.
+func (c *coordinator) telemetry() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, 2*len(c.queues)+2)
+	out["machines"] = int64(len(c.queues))
+	out["embeddings"] = c.total.Load()
+	for i := range c.queues {
+		out[fmt.Sprintf("machine_%d_pending", i)] = int64(len(c.queues[i]))
+		out[fmt.Sprintf("machine_%d_stolen", i)] = int64(c.result.Machines[i].Stolen)
+	}
+	return out
 }
 
 // next pops a pivot for machine id: its own queue first, then the victim
@@ -165,7 +193,7 @@ func (c *coordinator) next(id int) (graph.VertexID, bool, bool) {
 
 func (c *coordinator) serve(conn net.Conn) error {
 	defer conn.Close()
-	cc := newCountingConn(conn)
+	cc := newCountingConn(conn, c.stats)
 	dec := gob.NewDecoder(cc)
 	enc := gob.NewEncoder(cc)
 
@@ -185,6 +213,9 @@ func (c *coordinator) serve(conn net.Conn) error {
 		pivot, stolen, ok := c.next(id)
 		if stolen {
 			c.steals.Add(1)
+			if c.stats != nil {
+				c.stats.StealAttempts.Add(1)
+			}
 			c.mu.Lock()
 			c.result.Machines[id].Stolen++
 			c.mu.Unlock()
@@ -201,6 +232,7 @@ func (c *coordinator) serve(conn net.Conn) error {
 		return fmt.Errorf("report: %w", err)
 	}
 	c.total.Add(rep.Embeddings)
+	c.stats.AddEmbeddings(rep.Embeddings)
 	c.mu.Lock()
 	led := &c.result.Machines[id]
 	led.Embeddings = rep.Embeddings
@@ -222,7 +254,7 @@ func (c *coordinator) addWire(id int, bytes int64) {
 }
 
 func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree,
-	cons *auto.Constraints, cfg Config) error {
+	cons *auto.Constraints, cfg Config, span *obs.Span) error {
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -254,6 +286,9 @@ func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree
 		}
 		// Build lazily, per cluster: the machine's CECI covers exactly
 		// the pivots it ends up processing (including stolen ones).
+		csp := span.Child("cluster",
+			obs.Int("pivot", int64(work.Pivot)),
+			obs.Int("stolen", b2i(work.Stolen)))
 		t0 := time.Now()
 		ix = ceci.Build(data, tree, ceci.Options{
 			Workers: cfg.WorkersPerMachine,
@@ -261,6 +296,7 @@ func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree
 		})
 		buildTime += time.Since(t0)
 		if len(ix.Pivots()) == 0 {
+			csp.End()
 			continue
 		}
 		t0 = time.Now()
@@ -271,6 +307,7 @@ func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree
 		})
 		found += m.Count()
 		enumTime += time.Since(t0)
+		csp.End()
 	}
 	return enc.Encode(msgReport{
 		ID:           id,
@@ -280,18 +317,34 @@ func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree
 	})
 }
 
-// countingConn measures wire traffic.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// countingConn measures wire traffic; every read/write is also mirrored
+// into the global counter set (when present) so BytesOnWire and
+// MessagesSent advance live on the telemetry endpoint instead of only
+// appearing in the final ledgers.
 type countingConn struct {
 	net.Conn
 	bytes    atomic.Int64
 	messages atomic.Int64
+	global   *stats.Counters
 }
 
-func newCountingConn(c net.Conn) *countingConn { return &countingConn{Conn: c} }
+func newCountingConn(c net.Conn, global *stats.Counters) *countingConn {
+	return &countingConn{Conn: c, global: global}
+}
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.bytes.Add(int64(n))
+	if c.global != nil {
+		c.global.BytesOnWire.Add(int64(n))
+	}
 	return n, err
 }
 
@@ -299,5 +352,9 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.bytes.Add(int64(n))
 	c.messages.Add(1)
+	if c.global != nil {
+		c.global.BytesOnWire.Add(int64(n))
+		c.global.MessagesSent.Add(1)
+	}
 	return n, err
 }

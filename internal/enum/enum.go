@@ -14,6 +14,7 @@ import (
 	"ceci/internal/auto"
 	"ceci/internal/ceci"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/stats"
 	"ceci/internal/workload"
 )
@@ -39,6 +40,12 @@ type Options struct {
 	// Stats and Clock receive instrumentation (may be nil).
 	Stats *stats.Counters
 	Clock *stats.WorkerClock
+	// Trace records enumerate/cluster spans (may be nil).
+	Trace *obs.Tracer
+	// Progress receives live cluster-completion and embedding counts;
+	// the reporter is started when enumeration begins and stopped (with
+	// a final report) when it ends (may be nil).
+	Progress *obs.Reporter
 }
 
 // Matcher enumerates the embeddings represented by a CECI index.
@@ -101,6 +108,21 @@ func (m *Matcher) Collect() [][]graph.VertexID {
 // goroutine-safe; returning false stops the enumeration early.
 func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
 	units := m.units()
+	if rep := m.opts.Progress; rep != nil {
+		var card int64
+		for _, u := range units {
+			if card += u.Card; card < 0 { // overflow: clamp
+				card = ceci.CardSaturation
+			}
+		}
+		if m.opts.Clock == nil {
+			m.opts.Clock = stats.NewWorkerClock(m.opts.Workers)
+		}
+		rep.SetClock(m.opts.Clock)
+		rep.AddTotals(len(units), card)
+		rep.Start()
+		defer rep.Stop()
+	}
 	if len(units) == 0 {
 		return
 	}
@@ -112,6 +134,12 @@ func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
 		workers = 1
 	}
 
+	span := m.opts.Trace.Start("enumerate",
+		obs.String("strategy", m.opts.Strategy.String()),
+		obs.Int("units", int64(len(units))),
+		obs.Int("workers", int64(workers)))
+	defer span.End()
+
 	ctl := &control{fn: fn, limit: m.opts.Limit}
 
 	switch m.opts.Strategy {
@@ -122,7 +150,7 @@ func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				m.runWorker(w, ctl, func() (workload.Unit, bool) {
+				m.runWorker(w, ctl, span, func() (workload.Unit, bool) {
 					g := groups[w]
 					if len(g) == 0 {
 						return workload.Unit{}, false
@@ -140,7 +168,7 @@ func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				m.runWorker(w, ctl, pool.Next)
+				m.runWorker(w, ctl, span, pool.Next)
 			}(w)
 		}
 		wg.Wait()
@@ -190,15 +218,9 @@ func (c *control) emit(emb []graph.VertexID) bool {
 	return true
 }
 
-func (m *Matcher) runWorker(id int, ctl *control, next func() (workload.Unit, bool)) {
+func (m *Matcher) runWorker(id int, ctl *control, parent *obs.Span, next func() (workload.Unit, bool)) {
 	s := newSearcher(m, ctl)
-	start := time.Now()
-	defer func() {
-		if m.opts.Clock != nil {
-			m.opts.Clock.Add(id, time.Since(start))
-		}
-		s.flushStats()
-	}()
+	defer s.flush()
 	for {
 		if ctl.stop.Load() {
 			return
@@ -207,7 +229,25 @@ func (m *Matcher) runWorker(id int, ctl *control, next func() (workload.Unit, bo
 		if !ok {
 			return
 		}
-		if !s.runUnit(unit) {
+		// Per-unit clock charges (rather than one charge at worker exit)
+		// keep mid-run busy-time snapshots meaningful.
+		start := time.Now()
+		var span *obs.Span
+		if parent != nil {
+			span = parent.Child("cluster",
+				obs.Int("pivot", int64(unit.Prefix[0])),
+				obs.Int("depth", int64(len(unit.Prefix))),
+				obs.Int("card", unit.Card),
+				obs.Int("worker", int64(id)))
+		}
+		ok = s.runUnit(unit)
+		span.End()
+		m.opts.Clock.Add(id, time.Since(start))
+		if rep := m.opts.Progress; rep != nil {
+			rep.ClusterDone(unit.Card)
+			s.flush()
+		}
+		if !ok {
 			return
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"ceci/internal/auto"
 	"ceci/internal/ceci"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/workload"
 )
@@ -48,6 +49,18 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 	}
 	ctl := &control{fn: fn, limit: eopts.Limit}
 
+	if rep := eopts.Progress; rep != nil {
+		// Cluster cardinalities are unknown up front (each cluster's index
+		// is built on demand), so ETA derives from cluster counts alone.
+		rep.AddTotals(len(pivots), 0)
+		rep.Start()
+		defer rep.Stop()
+	}
+	span := eopts.Trace.Start("enumerate-incremental",
+		obs.Int("pivots", int64(len(pivots))),
+		obs.Int("workers", int64(workers)))
+	defer span.End()
+
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -60,7 +73,7 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 			var s *searcher
 			defer func() {
 				if s != nil {
-					s.flushStats()
+					s.flush()
 				}
 			}()
 			pivotBuf := make([]graph.VertexID, 1)
@@ -73,15 +86,22 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 				clusterOpts := bopts
 				clusterOpts.Workers = 1
 				clusterOpts.Pivots = pivotBuf
+				clusterOpts.Tracer = nil // per-cluster builds would flood the trace
 				ix := ceci.Build(data, tree, clusterOpts)
 				if len(ix.Pivots()) == 0 {
+					eopts.Progress.ClusterDone(0)
 					continue // cluster died during filtering/refinement
 				}
 				shell.ix = ix
 				if s == nil {
 					s = newSearcher(shell, ctl)
 				}
-				if !s.runUnit(workload.Unit{Prefix: pivotBuf[:1]}) {
+				ok := s.runUnit(workload.Unit{Prefix: pivotBuf[:1]})
+				if rep := eopts.Progress; rep != nil {
+					rep.ClusterDone(0)
+					s.flush()
+				}
+				if !ok {
 					return
 				}
 			}

@@ -39,6 +39,6 @@ func (m *Matcher) MeasureUnits() []UnitCost {
 			Embeddings: s.embeddings - before,
 		}
 	}
-	s.flushStats()
+	s.flush()
 	return costs
 }

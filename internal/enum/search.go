@@ -18,9 +18,19 @@ type searcher struct {
 	used    []bool              // indexed by data vertex (injectivity bitmap)
 	scratch []ceci.MatchScratch // per-depth intersection buffers
 
+	// Cumulative counters for the searcher's lifetime; flush pushes the
+	// delta beyond flushed* to the Stats/Progress sinks so live snapshots
+	// advance mid-run without an atomic per embedding.
 	recursiveCalls int64
 	embeddings     int64
+	flushedCalls   int64
+	flushedEmbs    int64
 }
+
+// liveFlushMask batches sink updates: counters drain every 4096
+// embeddings (and at each unit boundary), keeping the hot path
+// atomic-free.
+const liveFlushMask = 1<<12 - 1
 
 // queryShape caches the tree fields the inner loop touches.
 type queryShape struct {
@@ -66,6 +76,9 @@ func (s *searcher) runUnit(u workload.Unit) bool {
 func (s *searcher) search(depth int) bool {
 	if depth == s.tree.n {
 		s.embeddings++
+		if s.embeddings&liveFlushMask == 0 {
+			s.flush()
+		}
 		return s.ctl.emit(s.emb)
 	}
 	u := s.tree.order[depth]
@@ -109,11 +122,20 @@ func (s *searcher) search(depth int) bool {
 	return true
 }
 
-func (s *searcher) flushStats() {
-	if st := s.m.opts.Stats; st != nil {
-		st.RecursiveCalls.Add(s.recursiveCalls)
-		st.Embeddings.Add(s.embeddings)
+// flush pushes counter deltas since the last flush to the Stats counters
+// and the Progress reporter. Cumulative fields are never reset, so
+// callers (MeasureUnits) can still read them across units.
+func (s *searcher) flush() {
+	dCalls := s.recursiveCalls - s.flushedCalls
+	dEmbs := s.embeddings - s.flushedEmbs
+	if dCalls == 0 && dEmbs == 0 {
+		return
 	}
-	s.recursiveCalls = 0
-	s.embeddings = 0
+	if st := s.m.opts.Stats; st != nil {
+		st.RecursiveCalls.Add(dCalls)
+		st.Embeddings.Add(dEmbs)
+	}
+	s.m.opts.Progress.AddEmbeddings(dEmbs)
+	s.flushedCalls = s.recursiveCalls
+	s.flushedEmbs = s.embeddings
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ceci/internal/stats"
+)
+
+func TestReporterLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var reports []Progress
+	r := NewReporter(func(p Progress) {
+		mu.Lock()
+		reports = append(reports, p)
+		mu.Unlock()
+	}, time.Millisecond)
+
+	clock := stats.NewWorkerClock(2)
+	clock.Add(0, 3*time.Millisecond)
+	r.SetClock(clock)
+	r.AddTotals(4, 100)
+	r.Start()
+	r.Start() // idempotent
+	for i := 0; i < 4; i++ {
+		r.ClusterDone(25)
+		r.AddEmbeddings(10)
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.AddSteals(2)
+	r.Stop()
+	r.Stop() // idempotent
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) < 2 {
+		t.Fatalf("reports = %d, want >= 2 (periodic + final)", len(reports))
+	}
+	last := reports[len(reports)-1]
+	if !last.Final {
+		t.Fatal("last report not Final")
+	}
+	if last.ClustersDone != 4 || last.ClustersTotal != 4 ||
+		last.Embeddings != 40 || last.CardinalityDone != 100 ||
+		last.CardinalityTotal != 100 || last.Steals != 2 {
+		t.Fatalf("final = %+v", last)
+	}
+	if len(last.WorkerBusy) != 2 || last.WorkerBusy[0] != 3*time.Millisecond {
+		t.Fatalf("worker busy = %v", last.WorkerBusy)
+	}
+	if last.Elapsed <= 0 || last.EmbeddingsPerSec <= 0 {
+		t.Fatalf("rates = %+v", last)
+	}
+	for i := 1; i < len(reports); i++ {
+		prev, cur := reports[i-1], reports[i]
+		if cur.ClustersDone < prev.ClustersDone || cur.Embeddings < prev.Embeddings ||
+			cur.CardinalityDone < prev.CardinalityDone || cur.Elapsed < prev.Elapsed {
+			t.Fatalf("report %d regressed: %+v -> %+v", i, prev, cur)
+		}
+	}
+}
+
+func TestReporterETA(t *testing.T) {
+	// Cardinality-based: half the cardinality done in Elapsed time means
+	// ETA ~= Elapsed.
+	p := Progress{Elapsed: time.Second, CardinalityDone: 50, CardinalityTotal: 100}
+	if got := eta(p); got != time.Second {
+		t.Fatalf("cardinality eta = %v, want 1s", got)
+	}
+	// Cluster fallback when no cardinalities were registered: 1 of 3
+	// clusters remains after 2 clusters took 2s, so ~1s to go.
+	p = Progress{Elapsed: 2 * time.Second, ClustersDone: 2, ClustersTotal: 3}
+	if got := eta(p); got != time.Second {
+		t.Fatalf("cluster eta = %v, want 1s", got)
+	}
+	// Done, or nothing to extrapolate from: 0.
+	if eta(Progress{Elapsed: time.Second, ClustersDone: 3, ClustersTotal: 3}) != 0 {
+		t.Fatal("completed run should have eta 0")
+	}
+	if eta(Progress{ClustersTotal: 5}) != 0 {
+		t.Fatal("unstarted run should have eta 0")
+	}
+}
+
+func TestReporterNilSafe(t *testing.T) {
+	var r *Reporter
+	r.SetClock(nil)
+	r.AddTotals(1, 1)
+	r.ClusterDone(1)
+	r.AddEmbeddings(1)
+	r.AddSteals(1)
+	r.Start()
+	r.Stop()
+	if p := r.Snapshot(false); p.ClustersDone != 0 || p.Embeddings != 0 || p.Elapsed != 0 {
+		t.Fatalf("nil snapshot = %+v", p)
+	}
+}
+
+func TestReporterNilFuncAggregatesOnly(t *testing.T) {
+	r := NewReporter(nil, time.Millisecond)
+	r.AddTotals(2, 0)
+	r.Start()
+	r.ClusterDone(0)
+	r.AddEmbeddings(7)
+	time.Sleep(3 * time.Millisecond)
+	r.Stop()
+	p := r.Snapshot(false)
+	if p.ClustersDone != 1 || p.Embeddings != 7 {
+		t.Fatalf("snapshot = %+v", p)
+	}
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ceci/internal/stats"
+)
+
+// Registry aggregates telemetry sources — a counter set, a tracer, the
+// latest progress snapshot, and arbitrary named gauge sources — and
+// renders them as JSON or Prometheus text. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters *stats.Counters
+	tracer   *Tracer
+	progress Progress
+	hasProg  bool
+	sources  map[string]func() map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// SetCounters attaches the counter set rendered as ceci_*_total counters.
+func (r *Registry) SetCounters(c *stats.Counters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters = c
+	r.mu.Unlock()
+}
+
+// Counters returns the attached counter set (may be nil).
+func (r *Registry) Counters() *stats.Counters {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// SetTracer attaches the tracer served at /trace.
+func (r *Registry) SetTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracer = t
+	r.mu.Unlock()
+}
+
+// ObserveProgress records the latest progress snapshot; wire it as (or
+// inside) a ProgressFunc so the endpoint's gauges track the live run.
+func (r *Registry) ObserveProgress(p Progress) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.progress = p
+	r.hasProg = true
+	r.mu.Unlock()
+}
+
+// ProgressFunc returns a ProgressFunc that records into the registry and
+// then calls next (which may be nil).
+func (r *Registry) ProgressFunc(next ProgressFunc) ProgressFunc {
+	return func(p Progress) {
+		r.ObserveProgress(p)
+		if next != nil {
+			next(p)
+		}
+	}
+}
+
+// SetSource registers (or replaces) a named gauge source. The function
+// is called at scrape time and must be safe for concurrent use; its keys
+// become ceci_<name>_<key> gauges.
+func (r *Registry) SetSource(name string, fn func() map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.sources == nil {
+		r.sources = make(map[string]func() map[string]int64)
+	}
+	r.sources[name] = fn
+	r.mu.Unlock()
+}
+
+type registrySnapshot struct {
+	counters map[string]int64
+	progress *Progress
+	tracer   *Tracer
+	sources  map[string]map[string]int64
+}
+
+func (r *Registry) snapshot() registrySnapshot {
+	r.mu.Lock()
+	counters := r.counters
+	tracer := r.tracer
+	var prog *Progress
+	if r.hasProg {
+		p := r.progress
+		prog = &p
+	}
+	fns := make(map[string]func() map[string]int64, len(r.sources))
+	for k, v := range r.sources {
+		fns[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := registrySnapshot{progress: prog, tracer: tracer}
+	snap.counters = counters.Snapshot()
+	if len(fns) > 0 {
+		snap.sources = make(map[string]map[string]int64, len(fns))
+		for name, fn := range fns {
+			snap.sources[name] = fn()
+		}
+	}
+	return snap
+}
+
+// MetricsJSON renders the registry as one JSON document: counters,
+// latest progress, named sources, and runtime stats.
+func (r *Registry) MetricsJSON() ([]byte, error) {
+	if r == nil {
+		return []byte("{}"), nil
+	}
+	snap := r.snapshot()
+	doc := map[string]any{
+		"counters": snap.counters,
+		"runtime":  runtimeGauges(),
+	}
+	if snap.progress != nil {
+		doc["progress"] = snap.progress
+	}
+	if snap.sources != nil {
+		doc["sources"] = snap.sources
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// PrometheusText renders the registry in the Prometheus text exposition
+// format: counters as ceci_<name>_total, progress and sources as gauges,
+// plus Go runtime gauges.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	snap := r.snapshot()
+	var b strings.Builder
+
+	keys := make([]string, 0, len(snap.counters))
+	for k := range snap.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := "ceci_" + k + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, snap.counters[k])
+	}
+
+	if p := snap.progress; p != nil {
+		gauge := func(name string, v float64) {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, v)
+		}
+		gauge("ceci_clusters_done", float64(p.ClustersDone))
+		gauge("ceci_clusters_total", float64(p.ClustersTotal))
+		gauge("ceci_progress_embeddings", float64(p.Embeddings))
+		gauge("ceci_embeddings_per_sec", p.EmbeddingsPerSec)
+		gauge("ceci_cardinality_done", float64(p.CardinalityDone))
+		gauge("ceci_cardinality_total", float64(p.CardinalityTotal))
+		gauge("ceci_eta_seconds", p.ETA.Seconds())
+		gauge("ceci_steals", float64(p.Steals))
+		if len(p.WorkerBusy) > 0 {
+			fmt.Fprintf(&b, "# TYPE ceci_worker_busy_seconds gauge\n")
+			for i, d := range p.WorkerBusy {
+				fmt.Fprintf(&b, "ceci_worker_busy_seconds{worker=\"%d\"} %g\n", i, d.Seconds())
+			}
+		}
+	}
+
+	srcNames := make([]string, 0, len(snap.sources))
+	for name := range snap.sources {
+		srcNames = append(srcNames, name)
+	}
+	sort.Strings(srcNames)
+	for _, name := range srcNames {
+		vals := snap.sources[name]
+		ks := make([]string, 0, len(vals))
+		for k := range vals {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			mn := "ceci_" + name + "_" + k
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", mn, mn, vals[k])
+		}
+	}
+
+	rg := runtimeGauges()
+	rks := make([]string, 0, len(rg))
+	for k := range rg {
+		rks = append(rks, k)
+	}
+	sort.Strings(rks)
+	for _, k := range rks {
+		name := "ceci_runtime_" + k
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, rg[k])
+	}
+	return b.String()
+}
+
+func runtimeGauges() map[string]int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]int64{
+		"goroutines":  int64(runtime.NumGoroutine()),
+		"heap_bytes":  int64(ms.HeapAlloc),
+		"gc_cycles":   int64(ms.NumGC),
+		"gomaxprocs":  int64(runtime.GOMAXPROCS(0)),
+		"alloc_total": int64(ms.TotalAlloc),
+	}
+}
+
+// Handler returns the telemetry mux:
+//
+//	/               route index
+//	/metrics        Prometheus text format
+//	/metrics.json   counters + progress + sources as JSON
+//	/trace          span tree as JSON
+//	/debug/pprof/   net/http/pprof profiles
+func (r *Registry) Handler() http.Handler {
+	if r == nil {
+		r = NewRegistry()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "ceci telemetry\n\n/metrics\n/metrics.json\n/trace\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.PrometheusText())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		b, err := r.MetricsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		tr := r.tracer
+		r.mu.Unlock()
+		b, err := json.MarshalIndent(tr.Tree(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	// srv.Close closes the listener too; double-close is harmless.
+	s.ln.Close()
+	return err
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. "127.0.0.1:0" or
+// ":9090") and returns immediately; the server runs until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ceci/internal/stats"
+)
+
+func newTestRegistry() *Registry {
+	reg := NewRegistry()
+	c := &stats.Counters{}
+	c.AddEmbeddings(42)
+	c.AddRecursive(7)
+	reg.SetCounters(c)
+	tr := NewTracer(TracerOptions{})
+	s := tr.Start("build")
+	s.End()
+	reg.SetTracer(tr)
+	reg.ObserveProgress(Progress{
+		Elapsed: time.Second, ClustersDone: 1, ClustersTotal: 2,
+		Embeddings: 42, EmbeddingsPerSec: 42,
+		WorkerBusy: []time.Duration{time.Second, 2 * time.Second},
+	})
+	reg.SetSource("cluster", func() map[string]int64 {
+		return map[string]int64{"machine_0_pending": 3}
+	})
+	return reg
+}
+
+func TestPrometheusText(t *testing.T) {
+	out := newTestRegistry().PrometheusText()
+	for _, want := range []string{
+		"# TYPE ceci_embeddings_total counter",
+		"ceci_embeddings_total 42",
+		"ceci_recursive_calls_total 7",
+		"ceci_clusters_done 1",
+		"ceci_eta_seconds",
+		`ceci_worker_busy_seconds{worker="1"} 2`,
+		"ceci_cluster_machine_0_pending 3",
+		"ceci_runtime_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	b, err := newTestRegistry().MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64            `json:"counters"`
+		Progress *Progress                   `json:"progress"`
+		Sources  map[string]map[string]int64 `json:"sources"`
+		Runtime  map[string]int64            `json:"runtime"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b)
+	}
+	if doc.Counters["embeddings"] != 42 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	if doc.Progress == nil || doc.Progress.ClustersTotal != 2 {
+		t.Fatalf("progress = %+v", doc.Progress)
+	}
+	if doc.Sources["cluster"]["machine_0_pending"] != 3 {
+		t.Fatalf("sources = %v", doc.Sources)
+	}
+	if doc.Runtime["gomaxprocs"] <= 0 {
+		t.Fatalf("runtime = %v", doc.Runtime)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", newTestRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/"); !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %q", body)
+	}
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "ceci_embeddings_total 42") || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics (%s): %q", ctype, body)
+	}
+	body, ctype = get("/metrics.json")
+	if !json.Valid([]byte(body)) || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics.json (%s): %q", ctype, body)
+	}
+	body, _ = get("/trace")
+	var tree []*SpanNode
+	if err := json.Unmarshal([]byte(body), &tree); err != nil || len(tree) != 1 || tree[0].Name != "build" {
+		t.Fatalf("/trace: %v %q", err, body)
+	}
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.SetCounters(nil)
+	r.SetTracer(nil)
+	r.ObserveProgress(Progress{})
+	r.SetSource("x", nil)
+	if r.Counters() != nil {
+		t.Fatal("nil registry counters")
+	}
+	if b, err := r.MetricsJSON(); err != nil || string(b) != "{}" {
+		t.Fatalf("nil MetricsJSON = %q, %v", b, err)
+	}
+	if r.PrometheusText() != "" {
+		t.Fatal("nil PrometheusText")
+	}
+	if r.Handler() == nil {
+		t.Fatal("nil Handler should still serve")
+	}
+}

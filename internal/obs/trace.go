@@ -1,0 +1,292 @@
+// Package obs is the live observability layer: a hierarchical span
+// tracer (preprocess → build → refine → enumerate → cluster), a progress
+// reporter invoked at a fixed interval during enumeration, and an HTTP
+// telemetry endpoint exposing counters, progress, and the span tree as
+// JSON and Prometheus text alongside net/http/pprof.
+//
+// Everything here is nil-safe: a nil *Tracer, *Span, *Reporter, or
+// *Registry turns every method into a no-op, so instrumentation can be
+// threaded through hot paths without branching at each call site.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute (a key/value string pair).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string-valued attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Value: strconv.FormatInt(v, 10)} }
+
+// DefaultMaxChildren bounds the spans recorded under one parent. Spans
+// beyond the cap are counted (SpanNode.Dropped) but not retained, so a
+// million-cluster enumeration cannot exhaust memory through its trace.
+const DefaultMaxChildren = 512
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// MaxChildren caps recorded children per span (0 = DefaultMaxChildren).
+	MaxChildren int
+	// JSONL, when non-nil, receives one JSON line per span start and end
+	// — an offline-analyzable event log. Writes happen under the tracer
+	// lock; pass a buffered writer for high-frequency traces.
+	JSONL io.Writer
+}
+
+// Tracer records a tree of timed spans. Safe for concurrent use; span
+// creation from multiple workers interleaves under one lock, so it is
+// meant for phase/cluster granularity, not per-embedding events.
+type Tracer struct {
+	mu    sync.Mutex
+	opts  TracerOptions
+	roots []*Span
+	drops int
+	seq   int64
+	epoch time.Time
+}
+
+// NewTracer returns a Tracer recording from now.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.MaxChildren <= 0 {
+		opts.MaxChildren = DefaultMaxChildren
+	}
+	return &Tracer{opts: opts, epoch: time.Now()}
+}
+
+// Span is one timed node of the trace tree. Create with Tracer.Start or
+// Span.Child; call End exactly once (extra Ends are ignored).
+type Span struct {
+	tracer   *Tracer
+	id       int64
+	name     string
+	attrs    []Attr
+	start    time.Time
+	end      time.Time
+	ended    bool
+	detached bool // beyond the parent's child cap: timed but not recorded
+	children []*Span
+	dropped  int
+}
+
+// Start opens a top-level span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.roots) >= t.opts.MaxChildren {
+		t.drops++
+		return &Span{tracer: t, detached: true, start: time.Now()}
+	}
+	s := t.newSpanLocked(name, 0, attrs)
+	t.roots = append(t.roots, s)
+	return s
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.detached || len(s.children) >= t.opts.MaxChildren {
+		s.dropped++
+		return &Span{tracer: t, detached: true, start: time.Now()}
+	}
+	c := t.newSpanLocked(name, s.id, attrs)
+	s.children = append(s.children, c)
+	return c
+}
+
+func (t *Tracer) newSpanLocked(name string, parent int64, attrs []Attr) *Span {
+	t.seq++
+	s := &Span{tracer: t, id: t.seq, name: name, attrs: attrs, start: time.Now()}
+	t.emitLocked(map[string]any{
+		"ev":     "start",
+		"id":     s.id,
+		"parent": parent,
+		"name":   name,
+		"t_us":   s.start.Sub(t.epoch).Microseconds(),
+		"attrs":  attrMap(attrs),
+	})
+	return s
+}
+
+// End closes the span. Idempotent; safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.end = time.Now()
+	if s.detached {
+		return
+	}
+	t.emitLocked(map[string]any{
+		"ev":     "end",
+		"id":     s.id,
+		"t_us":   s.end.Sub(t.epoch).Microseconds(),
+		"dur_us": s.end.Sub(s.start).Microseconds(),
+	})
+}
+
+// Annotate appends attributes to an already-open span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || s.detached {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.tracer.mu.Unlock()
+}
+
+func (t *Tracer) emitLocked(ev map[string]any) {
+	if t.opts.JSONL == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	t.opts.JSONL.Write(append(b, '\n')) // best effort
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// SpanNode is an immutable snapshot of one span, JSON-marshalable for
+// the telemetry endpoint and the cecirun -stats dump.
+type SpanNode struct {
+	Name    string            `json:"name"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Running bool              `json:"running,omitempty"`
+	// Dropped counts children beyond the MaxChildren cap.
+	Dropped  int         `json:"dropped_children,omitempty"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree snapshots the current span forest. Open spans report their
+// duration so far and Running=true.
+func (t *Tracer) Tree() []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	out := make([]*SpanNode, len(t.roots))
+	for i, s := range t.roots {
+		out[i] = s.snapshotLocked(t, now)
+	}
+	return out
+}
+
+func (s *Span) snapshotLocked(t *Tracer, now time.Time) *SpanNode {
+	n := &SpanNode{
+		Name:    s.name,
+		Attrs:   attrMap(s.attrs),
+		StartUS: s.start.Sub(t.epoch).Microseconds(),
+		Dropped: s.dropped,
+	}
+	if s.ended {
+		n.DurUS = s.end.Sub(s.start).Microseconds()
+	} else {
+		n.DurUS = now.Sub(s.start).Microseconds()
+		n.Running = true
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, c.snapshotLocked(t, now))
+	}
+	return n
+}
+
+// PhaseDurations aggregates span durations by name across the whole
+// tree — the flat view stats.PhaseTrace used to provide, derived from
+// the richer hierarchy.
+func (t *Tracer) PhaseDurations() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration)
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		out[n.Name] += time.Duration(n.DurUS) * time.Microsecond
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Tree() {
+		walk(r)
+	}
+	return out
+}
+
+// String renders the tree with indentation, children in start order.
+func (t *Tracer) String() string {
+	if t == nil {
+		return "<nil tracer>"
+	}
+	var b strings.Builder
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		fmt.Fprintf(&b, "%s%-*s %12v", strings.Repeat("  ", depth), 24-2*depth, n.Name,
+			time.Duration(n.DurUS)*time.Microsecond)
+		if n.Running {
+			b.WriteString(" (running)")
+		}
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+			}
+		}
+		if n.Dropped > 0 {
+			fmt.Fprintf(&b, " +%d dropped", n.Dropped)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Tree() {
+		walk(r, 0)
+	}
+	return b.String()
+}

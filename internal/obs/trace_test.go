@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	root := tr.Start("enumerate", Int("units", 3))
+	c1 := root.Child("cluster", Int("pivot", 7))
+	c1.End()
+	c2 := root.Child("cluster", Int("pivot", 9))
+	c2.Annotate(String("note", "late"))
+	c2.End()
+	root.End()
+
+	tree := tr.Tree()
+	if len(tree) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tree))
+	}
+	r := tree[0]
+	if r.Name != "enumerate" || r.Attrs["units"] != "3" || r.Running {
+		t.Fatalf("root = %+v", r)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(r.Children))
+	}
+	if r.Children[0].Attrs["pivot"] != "7" || r.Children[1].Attrs["note"] != "late" {
+		t.Fatalf("children = %+v, %+v", r.Children[0], r.Children[1])
+	}
+}
+
+func TestTracerOpenSpanRunning(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	s := tr.Start("build")
+	time.Sleep(time.Millisecond)
+	tree := tr.Tree()
+	if !tree[0].Running || tree[0].DurUS <= 0 {
+		t.Fatalf("open span should be running with positive duration: %+v", tree[0])
+	}
+	s.End()
+	s.End() // idempotent
+	if tr.Tree()[0].Running {
+		t.Fatal("ended span still running")
+	}
+}
+
+func TestTracerChildCap(t *testing.T) {
+	tr := NewTracer(TracerOptions{MaxChildren: 2})
+	root := tr.Start("enumerate")
+	for i := 0; i < 5; i++ {
+		c := root.Child("cluster")
+		// Detached spans must still be usable.
+		c.Annotate(String("k", "v"))
+		gc := c.Child("inner")
+		gc.End()
+		c.End()
+	}
+	root.End()
+	n := tr.Tree()[0]
+	if len(n.Children) != 2 {
+		t.Fatalf("recorded children = %d, want 2", len(n.Children))
+	}
+	if n.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", n.Dropped)
+	}
+}
+
+func TestTracerRootCap(t *testing.T) {
+	tr := NewTracer(TracerOptions{MaxChildren: 1})
+	tr.Start("a").End()
+	tr.Start("b").End() // beyond cap: detached, not recorded
+	if got := len(tr.Tree()); got != 1 {
+		t.Fatalf("roots = %d, want 1", got)
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{JSONL: &buf})
+	s := tr.Start("build", Int("n", 4))
+	c := s.Child("refine")
+	c.End()
+	s.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // 2 starts + 2 ends
+		t.Fatalf("lines = %d, want 4: %q", len(lines), buf.String())
+	}
+	type event struct {
+		Ev     string            `json:"ev"`
+		ID     int64             `json:"id"`
+		Parent int64             `json:"parent"`
+		Name   string            `json:"name"`
+		DurUS  int64             `json:"dur_us"`
+		Attrs  map[string]string `json:"attrs"`
+	}
+	var evs []event
+	for _, l := range lines {
+		var e event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		evs = append(evs, e)
+	}
+	if evs[0].Ev != "start" || evs[0].Name != "build" || evs[0].Attrs["n"] != "4" {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Parent != evs[0].ID {
+		t.Fatalf("child parent = %d, want %d", evs[1].Parent, evs[0].ID)
+	}
+	if evs[3].Ev != "end" || evs[3].ID != evs[0].ID {
+		t.Fatalf("last event = %+v", evs[3])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	s.Annotate(String("a", "b"))
+	c := s.Child("y")
+	c.End()
+	s.End()
+	if tr.Tree() != nil || tr.PhaseDurations() != nil {
+		t.Fatal("nil tracer should snapshot to nil")
+	}
+	if tr.String() != "<nil tracer>" {
+		t.Fatal("nil render")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	root := tr.Start("enumerate")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.Child("cluster", Int("worker", int64(i)))
+				c.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	n := tr.Tree()[0]
+	if len(n.Children)+n.Dropped != 400 {
+		t.Fatalf("children %d + dropped %d != 400", len(n.Children), n.Dropped)
+	}
+}
+
+func TestPhaseDurations(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	b := tr.Start("build")
+	r1 := b.Child("refine")
+	time.Sleep(time.Millisecond)
+	r1.End()
+	r2 := b.Child("refine")
+	time.Sleep(time.Millisecond)
+	r2.End()
+	b.End()
+	d := tr.PhaseDurations()
+	if d["refine"] < 2*time.Millisecond {
+		t.Fatalf("refine = %v, want >= 2ms", d["refine"])
+	}
+	if d["build"] < d["refine"] {
+		t.Fatalf("build %v < refine %v", d["build"], d["refine"])
+	}
+}
+
+func TestTracerString(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	s := tr.Start("build", Int("pivots", 12))
+	s.Child("refine").End()
+	s.End()
+	out := tr.String()
+	if !strings.Contains(out, "build") || !strings.Contains(out, "pivots=12") ||
+		!strings.Contains(out, "  refine") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -9,10 +9,13 @@ package stats
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode"
 )
 
 // Counters accumulates algorithm-level metrics. The zero value is ready;
@@ -64,28 +67,42 @@ func (c *Counters) AddEdgeVerifications(n int64) {
 	}
 }
 
-// Snapshot captures the current values.
+// Snapshot captures the current values, keyed by the snake_case form of
+// each field name (RecursiveCalls → "recursive_calls", FilteredNLC →
+// "filtered_nlc"). The mapping is reflection-derived so a counter added
+// to the struct can never be silently missing from snapshots or the
+// telemetry endpoint.
 func (c *Counters) Snapshot() map[string]int64 {
 	if c == nil {
 		return nil
 	}
-	return map[string]int64{
-		"recursive_calls":    c.RecursiveCalls.Load(),
-		"embeddings":         c.Embeddings.Load(),
-		"intersection_ops":   c.IntersectionOps.Load(),
-		"edge_verifications": c.EdgeVerifications.Load(),
-		"filtered_label":     c.FilteredLabel.Load(),
-		"filtered_degree":    c.FilteredDegree.Load(),
-		"filtered_nlc":       c.FilteredNLC.Load(),
-		"filtered_cascade":   c.FilteredCascade.Load(),
-		"filtered_refine":    c.FilteredRefine.Load(),
-		"index_bytes":        c.IndexBytes.Load(),
-		"page_loads":         c.PageLoads.Load(),
-		"steal_attempts":     c.StealAttempts.Load(),
-		"messages_sent":      c.MessagesSent.Load(),
-		"bytes_on_wire":      c.BytesOnWire.Load(),
-		"remote_reads":       c.RemoteReads.Load(),
+	v := reflect.ValueOf(c).Elem()
+	t := v.Type()
+	out := make(map[string]int64, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Type != reflect.TypeOf(atomic.Int64{}) {
+			continue
+		}
+		out[SnakeCase(f.Name)] = v.Field(i).Addr().Interface().(*atomic.Int64).Load()
 	}
+	return out
+}
+
+// SnakeCase converts a Go field name to its snapshot key: word
+// boundaries become underscores and acronym runs stay together
+// ("BytesOnWire" → "bytes_on_wire", "FilteredNLC" → "filtered_nlc").
+func SnakeCase(name string) string {
+	var b strings.Builder
+	runes := []rune(name)
+	for i, r := range runes {
+		if unicode.IsUpper(r) && i > 0 &&
+			(unicode.IsLower(runes[i-1]) || (i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+			b.WriteByte('_')
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
 }
 
 // WorkerClock tracks per-worker busy time, reproducing the per-worker
@@ -100,13 +117,16 @@ func NewWorkerClock(n int) *WorkerClock {
 	return &WorkerClock{busy: make([]time.Duration, n)}
 }
 
-// Add charges d of busy time to worker i.
+// Add charges d of busy time to worker i. Out-of-range indices are
+// ignored: instrumentation must never crash the enumeration it observes.
 func (w *WorkerClock) Add(i int, d time.Duration) {
 	if w == nil {
 		return
 	}
 	w.mu.Lock()
-	w.busy[i] += d
+	if i >= 0 && i < len(w.busy) {
+		w.busy[i] += d
+	}
 	w.mu.Unlock()
 }
 

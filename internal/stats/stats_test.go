@@ -1,8 +1,10 @@
 package stats_test
 
 import (
+	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -31,6 +33,54 @@ func TestCountersSnapshot(t *testing.T) {
 	}
 	if snap["page_loads"] != 0 {
 		t.Fatal("untouched counter nonzero")
+	}
+}
+
+// TestSnapshotCoversEveryCounter walks Counters by reflection, bumps each
+// exported atomic.Int64 field to a distinct value, and asserts the
+// snapshot reports every one under its snake_case key — so adding a
+// counter without snapshot coverage is impossible.
+func TestSnapshotCoversEveryCounter(t *testing.T) {
+	c := &stats.Counters{}
+	v := reflect.ValueOf(c).Elem()
+	ty := v.Type()
+	want := map[string]int64{}
+	for i := 0; i < ty.NumField(); i++ {
+		f := ty.Field(i)
+		if !f.IsExported() || f.Type != reflect.TypeOf(atomic.Int64{}) {
+			continue
+		}
+		val := int64(i + 1)
+		v.Field(i).Addr().Interface().(*atomic.Int64).Store(val)
+		want[stats.SnakeCase(f.Name)] = val
+	}
+	if len(want) == 0 {
+		t.Fatal("no exported counter fields found")
+	}
+	snap := c.Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d keys, struct has %d counters", len(snap), len(want))
+	}
+	for key, val := range want {
+		if snap[key] != val {
+			t.Errorf("snapshot[%q] = %d, want %d", key, snap[key], val)
+		}
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"RecursiveCalls": "recursive_calls",
+		"Embeddings":     "embeddings",
+		"FilteredNLC":    "filtered_nlc",
+		"BytesOnWire":    "bytes_on_wire",
+		"PageLoads":      "page_loads",
+		"NLCFilter":      "nlc_filter",
+	}
+	for in, want := range cases {
+		if got := stats.SnakeCase(in); got != want {
+			t.Errorf("SnakeCase(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 
@@ -64,6 +114,18 @@ func TestWorkerClock(t *testing.T) {
 	// Skew: max 30ms, mean (10+30+0)/3 = 13.33ms → 2.25.
 	if skew := w.Skew(); skew < 2.2 || skew > 2.3 {
 		t.Fatalf("skew = %v", skew)
+	}
+}
+
+func TestWorkerClockOutOfRange(t *testing.T) {
+	w := stats.NewWorkerClock(2)
+	w.Add(-1, time.Second) // must not panic
+	w.Add(2, time.Second)  // must not panic
+	w.Add(1<<30, time.Second)
+	for i, d := range w.BusyTimes() {
+		if d != 0 {
+			t.Fatalf("worker %d charged %v by out-of-range Add", i, d)
+		}
 	}
 }
 

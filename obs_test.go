@@ -1,0 +1,209 @@
+package ceci_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ceci"
+	"ceci/internal/gen"
+	"ceci/internal/obs"
+)
+
+// TestProgressReportingMonotonic drives a full Match/Count with a
+// ProgressFunc and asserts every reported count is monotonically
+// non-decreasing, ending in a Final report consistent with the result.
+func TestProgressReportingMonotonic(t *testing.T) {
+	data := gen.ErdosRenyi(150, 900, 11)
+	query := gen.QG1()
+
+	var mu sync.Mutex
+	var reports []ceci.Progress
+	opts := &ceci.Options{
+		Workers:          2,
+		Stats:            &ceci.Stats{},
+		ProgressInterval: time.Millisecond,
+		Progress: func(p ceci.Progress) {
+			mu.Lock()
+			reports = append(reports, p)
+			mu.Unlock()
+		},
+	}
+	m, err := ceci.Match(data, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := m.Count()
+	if count <= 0 {
+		t.Fatalf("count = %d, want > 0", count)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) == 0 {
+		t.Fatal("no progress reports")
+	}
+	last := reports[len(reports)-1]
+	if !last.Final {
+		t.Fatalf("last report not Final: %+v", last)
+	}
+	if last.ClustersTotal <= 0 || last.ClustersDone != last.ClustersTotal {
+		t.Fatalf("final clusters %d/%d", last.ClustersDone, last.ClustersTotal)
+	}
+	if last.Embeddings != count {
+		t.Fatalf("final embeddings = %d, Count = %d", last.Embeddings, count)
+	}
+	if last.Elapsed <= 0 {
+		t.Fatalf("final elapsed = %v", last.Elapsed)
+	}
+	if len(last.WorkerBusy) != 2 {
+		t.Fatalf("worker busy = %v, want 2 workers", last.WorkerBusy)
+	}
+	for i := 1; i < len(reports); i++ {
+		prev, cur := reports[i-1], reports[i]
+		if cur.ClustersDone < prev.ClustersDone {
+			t.Fatalf("clusters regressed at %d: %d -> %d", i, prev.ClustersDone, cur.ClustersDone)
+		}
+		if cur.Embeddings < prev.Embeddings {
+			t.Fatalf("embeddings regressed at %d: %d -> %d", i, prev.Embeddings, cur.Embeddings)
+		}
+		if cur.CardinalityDone < prev.CardinalityDone {
+			t.Fatalf("cardinality regressed at %d: %d -> %d", i, prev.CardinalityDone, cur.CardinalityDone)
+		}
+	}
+}
+
+// TestTelemetryEndpointDuringEnumeration attaches the full registry —
+// counters, tracer, progress — to a live HTTP endpoint and scrapes it
+// from inside the run's final progress callback, before enumeration
+// returns: both formats must be valid and show nonzero embeddings.
+func TestTelemetryEndpointDuringEnumeration(t *testing.T) {
+	data := gen.ErdosRenyi(150, 900, 11)
+	query := gen.QG1()
+
+	st := &ceci.Stats{}
+	tr := ceci.NewTracer(ceci.TracerOptions{})
+	reg := obs.NewRegistry()
+	reg.SetCounters(st)
+	reg.SetTracer(tr)
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var prom, metricsJSON string
+	var scrapeErr error
+	scraped := false
+	opts := &ceci.Options{
+		Workers: 2, Stats: st, Tracer: tr,
+		ProgressInterval: time.Millisecond,
+		Progress: reg.ProgressFunc(func(p ceci.Progress) {
+			if !p.Final || scraped {
+				return
+			}
+			scraped = true
+			prom, scrapeErr = httpGet(base + "/metrics")
+			if scrapeErr == nil {
+				metricsJSON, scrapeErr = httpGet(base + "/metrics.json")
+			}
+		}),
+	}
+	count, err := ceci.Count(data, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scraped {
+		t.Fatal("final progress report never fired")
+	}
+	if scrapeErr != nil {
+		t.Fatal(scrapeErr)
+	}
+
+	embTotal := int64(-1)
+	for _, line := range strings.Split(prom, "\n") {
+		if v, ok := strings.CutPrefix(line, "ceci_embeddings_total "); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				t.Fatalf("bad counter line %q: %v", line, err)
+			}
+			embTotal = n
+		}
+	}
+	if embTotal <= 0 {
+		t.Fatalf("ceci_embeddings_total = %d, want > 0; scrape:\n%s", embTotal, prom)
+	}
+	if !strings.Contains(prom, "ceci_clusters_done") || !strings.Contains(prom, "ceci_worker_busy_seconds{worker=\"0\"}") {
+		t.Fatalf("progress gauges missing:\n%s", prom)
+	}
+
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Progress *ceci.Progress   `json:"progress"`
+	}
+	if err := json.Unmarshal([]byte(metricsJSON), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v\n%s", err, metricsJSON)
+	}
+	if doc.Counters["embeddings"] != count {
+		t.Fatalf("json embeddings = %d, Count = %d", doc.Counters["embeddings"], count)
+	}
+	if doc.Progress == nil || !doc.Progress.Final {
+		t.Fatalf("json progress = %+v", doc.Progress)
+	}
+
+	// The shared tracer saw every phase of the run.
+	phases := tr.PhaseDurations()
+	for _, want := range []string{"preprocess", "build", "enumerate", "cluster"} {
+		if phases[want] <= 0 {
+			t.Fatalf("phase %q missing: %v", want, phases)
+		}
+	}
+}
+
+func TestIncrementalProgress(t *testing.T) {
+	data := gen.ErdosRenyi(80, 400, 3)
+	query := gen.QG1()
+	var mu sync.Mutex
+	var last ceci.Progress
+	opts := &ceci.Options{
+		Workers:          2,
+		ProgressInterval: time.Millisecond,
+		Progress: func(p ceci.Progress) {
+			mu.Lock()
+			last = p
+			mu.Unlock()
+		},
+	}
+	n, err := ceci.CountIncremental(data, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !last.Final || last.ClustersTotal <= 0 || last.ClustersDone != last.ClustersTotal {
+		t.Fatalf("final = %+v", last)
+	}
+	if last.Embeddings != n {
+		t.Fatalf("embeddings = %d, count = %d", last.Embeddings, n)
+	}
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
