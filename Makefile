@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt ci experiments experiments-quick examples clean
+.PHONY: build test race bench vet fmt ci verify fuzz experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -22,13 +22,27 @@ vet:
 fmt:
 	gofmt -w .
 
+# Differential correctness: the cross-matcher oracle and metamorphic
+# invariants (internal/verify), raced, plus a seed sweep via cecirun.
+verify:
+	$(GO) test -race -run Differential ./internal/verify
+	$(GO) run ./cmd/cecirun -verify -seed 1 -pairs 200
+
+# Short fuzz pass over both targets — same budget as the CI smoke job.
+# Crashers land under internal/verify/testdata/fuzz/; replay one with
+# `go run ./cmd/cecirun -verify -seed <seed>`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzMatchDifferential -fuzztime=$(FUZZTIME) ./internal/verify
+	$(GO) test -run='^$$' -fuzz=FuzzIndexRoundTrip -fuzztime=$(FUZZTIME) ./internal/verify
+
 # What .github/workflows/ci.yml runs: vet + build + full tests, then a
 # race pass over the concurrency-heavy packages.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/cluster ./internal/obs ./internal/stats
+	$(GO) test -race ./internal/enum ./internal/cluster ./internal/obs ./internal/stats ./internal/verify
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

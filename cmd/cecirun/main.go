@@ -7,6 +7,15 @@
 //	cecirun -data graph.edges -qg QG3 -workers 8 -strategy fgd
 //	cecirun -dataset lj_s -qg QG1 -limit 1024 -print
 //	cecirun -dataset yt_s -qg QG4 -progress 2s -listen :9090 -stats
+//
+// With -verify it instead runs the differential-correctness harness:
+// seeded random graph/query pairs are checked across all seven engines
+// (reference oracle, CECI, and the five baselines), and a failing seed is
+// shrunk to a minimal counterexample written out as .lg files.
+//
+//	cecirun -verify -seed 1 -pairs 500
+//	cecirun -verify -seed 1337            # replay one failing seed
+//	cecirun -verify -seed 1337 -verify-out /tmp/crash
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +34,7 @@ import (
 	"ceci/internal/datasets"
 	"ceci/internal/gen"
 	"ceci/internal/obs"
+	"ceci/internal/verify"
 )
 
 // runConfig carries every cecirun option; flags map onto it 1:1.
@@ -48,7 +59,14 @@ type runConfig struct {
 	progressEvery time.Duration // -progress: print live progress lines to stderr
 	tracePath     string        // -trace: write the JSONL span event log here
 
+	// Differential verification.
+	verify    bool   // -verify: run the cross-matcher harness instead of a query
+	seed      int64  // -seed: first seed to check
+	pairs     int    // -pairs: number of consecutive seeds
+	verifyOut string // -verify-out: where minimized counterexamples land
+
 	errw io.Writer // defaults to os.Stderr; tests capture it
+	outw io.Writer // defaults to os.Stdout; tests capture it
 }
 
 func main() {
@@ -70,6 +88,10 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "", "serve telemetry (/metrics, /metrics.json, /trace, /debug/pprof) on this address")
 	flag.DurationVar(&cfg.progressEvery, "progress", 0, "print live progress to stderr at this interval (0 = off)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write the JSONL span event log to this file")
+	flag.BoolVar(&cfg.verify, "verify", false, "run the differential-correctness harness on seeded random pairs")
+	flag.Int64Var(&cfg.seed, "seed", 1, "first seed for -verify")
+	flag.IntVar(&cfg.pairs, "pairs", 1, "number of consecutive seeds for -verify")
+	flag.StringVar(&cfg.verifyOut, "verify-out", ".", "directory for minimized counterexample .lg files")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -81,6 +103,12 @@ func main() {
 func run(cfg runConfig) error {
 	if cfg.errw == nil {
 		cfg.errw = os.Stderr
+	}
+	if cfg.outw == nil {
+		cfg.outw = os.Stdout
+	}
+	if cfg.verify {
+		return runVerify(cfg)
 	}
 
 	data, err := loadData(cfg.dataPath, cfg.dataset)
@@ -235,6 +263,62 @@ func writeStatsJSON(w io.Writer, opts *ceci.Options) error {
 	}
 	_, err = fmt.Fprintf(w, "%s\n", b)
 	return err
+}
+
+// runVerify sweeps seeds [seed, seed+pairs) through the differential
+// harness. The first disagreement is minimized and written to
+// verify-out/ceci-verify-<seed>-{data,query}.lg; the exit status is
+// non-zero so CI and scripts notice.
+func runVerify(cfg runConfig) error {
+	if cfg.pairs < 1 {
+		cfg.pairs = 1
+	}
+	opts := verify.Options{Workers: cfg.workers, MaxEmbeddings: 1 << 20}
+	checked, skipped := 0, 0
+	for seed := cfg.seed; seed < cfg.seed+int64(cfg.pairs); seed++ {
+		rep := verify.CheckSeed(seed, opts)
+		if rep.Skipped {
+			skipped++
+			continue
+		}
+		checked++
+		if rep.OK() {
+			if cfg.verbose {
+				fmt.Fprintf(cfg.outw, "%s\n", rep)
+			}
+			continue
+		}
+		fmt.Fprintf(cfg.errw, "DISAGREEMENT\n%s\n", rep)
+		fmt.Fprintf(cfg.errw, "minimizing counterexample...\n")
+		md, mq, mrep := verify.MinimizeFailure(rep.Data, rep.Query, opts)
+		dataPath := filepath.Join(cfg.verifyOut, fmt.Sprintf("ceci-verify-%d-data.lg", seed))
+		queryPath := filepath.Join(cfg.verifyOut, fmt.Sprintf("ceci-verify-%d-query.lg", seed))
+		if err := writeGraphFile(dataPath, md); err != nil {
+			return err
+		}
+		if err := writeGraphFile(queryPath, mq); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.errw, "minimized to data %v, query %v\n%s\n", md, mq, mrep)
+		fmt.Fprintf(cfg.errw, "wrote %s and %s\n", dataPath, queryPath)
+		fmt.Fprintf(cfg.errw, "replay: cecirun -data %s -query %s -print\n", dataPath, queryPath)
+		return fmt.Errorf("verify: seed %d disagrees across engines", seed)
+	}
+	fmt.Fprintf(cfg.outw, "verify: %d pair(s) checked across %d engines, all agree (%d skipped as too large)\n",
+		checked, len(verify.Engines()), skipped)
+	return nil
+}
+
+func writeGraphFile(path string, g *ceci.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ceci.WriteLabeledGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadData(path, dataset string) (*ceci.Graph, error) {

@@ -168,3 +168,34 @@ func TestRunValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestRunVerifyMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	cfg := runConfig{
+		verify: true, seed: 1, pairs: 10, workers: 2,
+		verifyOut: t.TempDir(), outw: &out, errw: &errb,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "all agree") {
+		t.Fatalf("summary missing from output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "7 engines") {
+		t.Fatalf("engine count missing from output: %q", out.String())
+	}
+}
+
+func TestRunVerifyVerbosePrintsPerSeed(t *testing.T) {
+	var out, errb bytes.Buffer
+	cfg := runConfig{
+		verify: true, seed: 3, pairs: 2, workers: 1, verbose: true,
+		verifyOut: t.TempDir(), outw: &out, errw: &errb,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "seed 3:") || !strings.Contains(out.String(), "seed 4:") {
+		t.Fatalf("per-seed reports missing: %q", out.String())
+	}
+}

@@ -1,7 +1,10 @@
 package enum_test
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 
 	"ceci/internal/ceci"
@@ -83,5 +86,138 @@ func TestIncrementalEmptyResult(t *testing.T) {
 	}
 	if got := enum.CountIncremental(data, tree, ceci.Options{}, enum.Options{}); got != 0 {
 		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+// collectEmbeddings gathers an enumeration into a sorted, comparable set
+// of embedding encodings (safe under concurrent callbacks).
+func collectEmbeddings(forEach func(fn func([]graph.VertexID) bool)) []string {
+	var mu sync.Mutex
+	var out []string
+	forEach(func(emb []graph.VertexID) bool {
+		mu.Lock()
+		out = append(out, fmt.Sprint(emb))
+		mu.Unlock()
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// TestIncrementalMatchesBatchEmbeddings: on 20 seeded graph/query pairs,
+// incremental enumeration after an index rebuild must match batch
+// enumeration embedding-for-embedding — not merely in count.
+func TestIncrementalMatchesBatchEmbeddings(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		data, query := gen.RandomPair(seed)
+		tree, err := order.Preprocess(data, query, order.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build, enumerate, then rebuild the index from scratch before the
+		// incremental pass, so the comparison spans an index rebuild.
+		ix := ceci.Build(data, tree, ceci.Options{})
+		batch := collectEmbeddings(func(fn func([]graph.VertexID) bool) {
+			enum.NewMatcher(ix, enum.Options{Workers: 2}).ForEach(fn)
+		})
+		tree2, err := order.Preprocess(data, query, order.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			incr := collectEmbeddings(func(fn func([]graph.VertexID) bool) {
+				enum.ForEachIncremental(data, tree2, ceci.Options{}, enum.Options{Workers: workers}, fn)
+			})
+			if len(incr) != len(batch) {
+				t.Fatalf("seed %d w=%d: incremental %d embeddings, batch %d",
+					seed, workers, len(incr), len(batch))
+			}
+			for i := range batch {
+				if batch[i] != incr[i] {
+					t.Fatalf("seed %d w=%d: embedding %d differs: batch %s, incremental %s",
+						seed, workers, i, batch[i], incr[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalEmptyMatchesBatch: the no-embedding case must agree
+// embedding-for-embedding too (both sides empty).
+func TestIncrementalEmptyMatchesBatch(t *testing.T) {
+	data := gen.Fig1Data()
+	b := graph.NewBuilder(3)
+	for v := 0; v < 3; v++ {
+		b.SetLabel(graph.VertexID(v), 77) // label absent from the data graph
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	query := b.MustBuild()
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := collectEmbeddings(func(fn func([]graph.VertexID) bool) {
+		enum.NewMatcher(ceci.Build(data, tree, ceci.Options{}), enum.Options{}).ForEach(fn)
+	})
+	incr := collectEmbeddings(func(fn func([]graph.VertexID) bool) {
+		enum.ForEachIncremental(data, tree, ceci.Options{}, enum.Options{}, fn)
+	})
+	if len(batch) != 0 || len(incr) != 0 {
+		t.Fatalf("want empty results, got batch %d incremental %d", len(batch), len(incr))
+	}
+}
+
+// TestIncrementalSingleCluster: force a root with exactly one candidate
+// (a uniquely-labeled vertex), so the whole enumeration lives in a single
+// embedding cluster; incremental and batch must still agree exactly.
+func TestIncrementalSingleCluster(t *testing.T) {
+	// Data: a star of B-labeled leaves around the only A-labeled hub,
+	// with a cycle through the leaves for non-tree edges.
+	b := graph.NewBuilder(7)
+	b.SetLabel(0, 0) // the unique A
+	for v := graph.VertexID(1); v < 7; v++ {
+		b.SetLabel(v, 1)
+		b.AddEdge(0, v)
+	}
+	for v := graph.VertexID(1); v < 6; v++ {
+		b.AddEdge(v, v+1)
+	}
+	data := b.MustBuild()
+
+	qb := graph.NewBuilder(3)
+	qb.SetLabel(0, 0)
+	qb.SetLabel(1, 1)
+	qb.SetLabel(2, 1)
+	qb.AddEdge(0, 1)
+	qb.AddEdge(0, 2)
+	qb.AddEdge(1, 2)
+	query := qb.MustBuild()
+
+	root := 0 // the A-labeled query vertex: exactly one data candidate
+	tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: root, Heuristic: order.BFSOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := ceci.Build(data, tree, ceci.Options{})
+	if got := len(ix.Pivots()); got != 1 {
+		t.Fatalf("pivots = %d, want exactly 1 cluster", got)
+	}
+	batch := collectEmbeddings(func(fn func([]graph.VertexID) bool) {
+		enum.NewMatcher(ix, enum.Options{Workers: 2}).ForEach(fn)
+	})
+	incr := collectEmbeddings(func(fn func([]graph.VertexID) bool) {
+		enum.ForEachIncremental(data, tree, ceci.Options{}, enum.Options{Workers: 2}, fn)
+	})
+	if len(batch) == 0 {
+		t.Fatal("expected embeddings in the single-cluster case")
+	}
+	if len(batch) != len(incr) {
+		t.Fatalf("batch %d embeddings, incremental %d", len(batch), len(incr))
+	}
+	for i := range batch {
+		if batch[i] != incr[i] {
+			t.Fatalf("embedding %d differs: %s vs %s", i, batch[i], incr[i])
+		}
 	}
 }

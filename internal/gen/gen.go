@@ -8,56 +8,138 @@
 // workload-balancing results, Erdős–Rényi graphs as a low-skew control,
 // and the random label-injection recipe of §6.2.
 //
-// All generators are deterministic given a seed.
+// All generators are deterministic given a seed — bit-for-bit identical on
+// every platform and Go version, because every seeded entry point draws
+// from the package's own SplitMix64 RNG (see prng.go for the rationale).
+// Generated topologies are always connected: each generator runs a
+// component-linking post-pass so that downstream consumers (the DFS query
+// grower, the differential harness) never have to reason about unreachable
+// islands or isolated vertices.
 package gen
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"ceci/internal/graph"
 )
+
+// edgeRecorder wraps a Builder and tracks connectivity with a union-find
+// so generators can link stray components after their main edge pass.
+type edgeRecorder struct {
+	b  *graph.Builder
+	uf []int32 // parent pointers; negative = root with -size
+}
+
+func newEdgeRecorder(n int) *edgeRecorder {
+	r := &edgeRecorder{b: graph.NewBuilder(n), uf: make([]int32, n)}
+	for i := range r.uf {
+		r.uf[i] = -1
+	}
+	return r
+}
+
+func (r *edgeRecorder) find(v int32) int32 {
+	for r.uf[v] >= 0 {
+		if p := r.uf[v]; r.uf[p] >= 0 {
+			r.uf[v] = r.uf[p] // path halving
+		}
+		v = r.uf[v]
+	}
+	return v
+}
+
+func (r *edgeRecorder) addEdge(u, v graph.VertexID) {
+	if u == v {
+		return
+	}
+	r.b.AddEdge(u, v)
+	ru, rv := r.find(int32(u)), r.find(int32(v))
+	if ru == rv {
+		return
+	}
+	if r.uf[ru] > r.uf[rv] { // union by size (sizes are negative)
+		ru, rv = rv, ru
+	}
+	r.uf[ru] += r.uf[rv]
+	r.uf[rv] = ru
+}
+
+// connect links every component to the first one with a single random
+// edge each, making the graph connected while disturbing the degree
+// distribution as little as possible. Components are visited in root-ID
+// order so the result is seed-deterministic.
+func (r *edgeRecorder) connect(rng Source) {
+	n := len(r.uf)
+	members := map[int32][]int32{}
+	var roots []int32
+	for v := 0; v < n; v++ {
+		root := r.find(int32(v))
+		if _, seen := members[root]; !seen {
+			roots = append(roots, root)
+		}
+		members[root] = append(members[root], int32(v))
+	}
+	if len(roots) < 2 {
+		return
+	}
+	home := members[roots[0]]
+	for _, root := range roots[1:] {
+		comp := members[root]
+		u := home[rng.Intn(len(home))]
+		v := comp[rng.Intn(len(comp))]
+		r.b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		home = append(home, comp...)
+	}
+}
+
+func (r *edgeRecorder) build(rng Source) *graph.Graph {
+	r.connect(rng)
+	return r.b.MustBuild()
+}
 
 // Kronecker generates a Graph500-style R-MAT/Kronecker graph with 2^scale
 // vertices and approximately edgeFactor * 2^scale undirected edges. The
 // (a, b, c, d) probabilities follow the Graph500 reference (0.57, 0.19,
 // 0.19, 0.05), producing the heavy-tailed degree distribution the paper's
-// rand_500k shares.
+// rand_500k shares. R-MAT leaves stray vertices untouched; the
+// component-linking pass attaches each with one edge, so the returned
+// graph is connected.
 func Kronecker(scale int, edgeFactor int, seed int64) *graph.Graph {
 	if scale < 1 || scale > 30 {
 		panic(fmt.Sprintf("gen: Kronecker scale %d out of range [1,30]", scale))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	n := 1 << scale
 	m := edgeFactor * n
-	b := graph.NewBuilder(n)
+	r := newEdgeRecorder(n)
 	const pa, pb, pc = 0.57, 0.19, 0.19
 	for i := 0; i < m; i++ {
 		u, v := 0, 0
 		for bit := 0; bit < scale; bit++ {
-			r := rng.Float64()
+			x := rng.Float64()
 			switch {
-			case r < pa:
+			case x < pa:
 				// top-left: no bits set
-			case r < pa+pb:
+			case x < pa+pb:
 				v |= 1 << bit
-			case r < pa+pb+pc:
+			case x < pa+pb+pc:
 				u |= 1 << bit
 			default:
 				u |= 1 << bit
 				v |= 1 << bit
 			}
 		}
-		b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		r.addEdge(graph.VertexID(u), graph.VertexID(v))
 	}
-	return b.MustBuild()
+	return r.build(rng)
 }
 
 // ChungLu generates a power-law graph with n vertices whose expected
 // degree sequence follows w_i ∝ (i+1)^(-1/(gamma-1)), scaled to an
 // average degree of avgDeg. gamma ≈ 2.1–2.5 matches social networks like
-// the paper's LiveJournal/Orkut/Friendster.
+// the paper's LiveJournal/Orkut/Friendster. Low-weight vertices that end
+// up isolated are attached by the component-linking pass.
 func ChungLu(n int, avgDeg float64, gamma float64, seed int64) *graph.Graph {
 	if n < 2 {
 		panic("gen: ChungLu needs n >= 2")
@@ -65,7 +147,7 @@ func ChungLu(n int, avgDeg float64, gamma float64, seed int64) *graph.Graph {
 	if gamma <= 1 {
 		panic("gen: ChungLu needs gamma > 1")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	w := make([]float64, n)
 	sum := 0.0
 	alpha := 1.0 / (gamma - 1.0)
@@ -82,7 +164,7 @@ func ChungLu(n int, avgDeg float64, gamma float64, seed int64) *graph.Graph {
 	}
 	total := cum[n]
 	m := int(float64(n) * avgDeg / 2)
-	b := graph.NewBuilder(n)
+	r := newEdgeRecorder(n)
 	pick := func() graph.VertexID {
 		x := rng.Float64() * total
 		lo, hi := 0, n
@@ -97,34 +179,29 @@ func ChungLu(n int, avgDeg float64, gamma float64, seed int64) *graph.Graph {
 		return graph.VertexID(lo)
 	}
 	for i := 0; i < m; i++ {
-		u, v := pick(), pick()
-		if u != v {
-			b.AddEdge(u, v)
-		}
+		r.addEdge(pick(), pick())
 	}
-	return b.MustBuild()
+	return r.build(rng)
 }
 
 // ErdosRenyi generates G(n, m): m uniformly random undirected edges over n
-// vertices. A low-skew control workload.
+// vertices, plus the component-linking pass. A low-skew control workload.
 func ErdosRenyi(n, m int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
+	rng := NewRNG(seed)
+	r := newEdgeRecorder(n)
 	for i := 0; i < m; i++ {
 		u := graph.VertexID(rng.Intn(n))
 		v := graph.VertexID(rng.Intn(n))
-		if u != v {
-			b.AddEdge(u, v)
-		}
+		r.addEdge(u, v)
 	}
-	return b.MustBuild()
+	return r.build(rng)
 }
 
 // WithRandomLabels returns a copy of g whose vertices carry labels drawn
 // uniformly from [0, numLabels). This is the paper's §6.2 recipe ("we
 // randomly inject each node of RD with one of the 100 different labels").
 func WithRandomLabels(g *graph.Graph, numLabels int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	b := graph.NewBuilder(g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
 		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(numLabels)))
@@ -140,7 +217,7 @@ func WithRandomLabels(g *graph.Graph, numLabels int, seed int64) *graph.Graph {
 // alphabet of numLabels, mimicking the paper's HU dataset ("one or more of
 // 90 different labels on each node").
 func WithRandomMultiLabels(g *graph.Graph, numLabels, maxPerVertex int, seed int64) *graph.Graph {
-	return withMultiLabels(g, maxPerVertex, seed, func(rng *rand.Rand) graph.Label {
+	return withMultiLabels(g, maxPerVertex, seed, func(rng *RNG) graph.Label {
 		return graph.Label(rng.Intn(numLabels))
 	})
 }
@@ -150,20 +227,34 @@ func WithRandomMultiLabels(g *graph.Graph, numLabels, maxPerVertex int, seed int
 // selective tail, the frequency profile of real functional annotations
 // (GO terms, protein families). Selectivity skew is what gives candidate
 // filters their bite, so labeled experiments use this for the HU
-// substitute.
+// substitute. Sampling is exact inverse-CDF over the finite alphabet
+// (P(k) ∝ (1+k)^-s), so the stream is as portable as the RNG beneath it.
 func WithZipfMultiLabels(g *graph.Graph, numLabels, maxPerVertex int, s float64, seed int64) *graph.Graph {
-	rngSeed := rand.New(rand.NewSource(seed))
-	zipf := rand.NewZipf(rngSeed, s, 1, uint64(numLabels-1))
-	return withMultiLabels(g, maxPerVertex, seed+1, func(*rand.Rand) graph.Label {
-		return graph.Label(zipf.Uint64())
+	cum := make([]float64, numLabels+1)
+	for k := 0; k < numLabels; k++ {
+		cum[k+1] = cum[k] + math.Pow(float64(1+k), -s)
+	}
+	total := cum[numLabels]
+	return withMultiLabels(g, maxPerVertex, seed, func(rng *RNG) graph.Label {
+		x := rng.Float64() * total
+		lo, hi := 0, numLabels-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.Label(lo)
 	})
 }
 
-func withMultiLabels(g *graph.Graph, maxPerVertex int, seed int64, draw func(*rand.Rand) graph.Label) *graph.Graph {
+func withMultiLabels(g *graph.Graph, maxPerVertex int, seed int64, draw func(*RNG) graph.Label) *graph.Graph {
 	if maxPerVertex < 1 {
 		maxPerVertex = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	b := graph.NewBuilder(g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
 		k := 1 + rng.Intn(maxPerVertex)

@@ -1,0 +1,97 @@
+package gen
+
+import "ceci/internal/graph"
+
+// Randomized (data graph, query graph) pairs for differential testing.
+//
+// A pair is fully determined by its PairParams, and PairParams are fully
+// determined by a single int64 seed (RandomPair), so a bare seed is a
+// complete, replayable test case: the fuzz corpus and the regression
+// artifacts in internal/verify store nothing else.
+
+// PairParams describes one randomized data/query pair. Clamp folds
+// arbitrary (e.g. fuzzer-chosen) values into the supported envelope, so
+// any parameter combination is a valid test case.
+type PairParams struct {
+	// DataVertices is the data-graph size, clamped to [4, 56].
+	DataVertices int
+	// ExtraEdges is the number of random edges added on top of the
+	// connecting spanning tree, clamped to [0, 3·DataVertices].
+	ExtraEdges int
+	// Labels is the label alphabet size, clamped to [1, 6].
+	Labels int
+	// QueryVertices is the query size, clamped to [2, 6].
+	QueryVertices int
+	// Seed drives every random draw.
+	Seed int64
+}
+
+// Clamp returns params folded into the supported envelope.
+func (p PairParams) Clamp() PairParams {
+	clamp := func(x, lo, hi int) int {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	p.DataVertices = clamp(p.DataVertices, 4, 56)
+	p.ExtraEdges = clamp(p.ExtraEdges, 0, 3*p.DataVertices)
+	p.Labels = clamp(p.Labels, 1, 6)
+	maxQ := 6
+	if p.DataVertices < maxQ {
+		maxQ = p.DataVertices
+	}
+	p.QueryVertices = clamp(p.QueryVertices, 2, maxQ)
+	return p
+}
+
+// RandomPair derives PairParams from seed and builds the pair. This is
+// the harness's standard entry point: one seed, one pair, forever.
+func RandomPair(seed int64) (data, query *graph.Graph) {
+	rng := NewRNG(seed)
+	n := 8 + rng.Intn(40)
+	p := PairParams{
+		DataVertices:  n,
+		ExtraEdges:    rng.Intn(2*n + 1),
+		Labels:        1 + rng.Intn(5),
+		QueryVertices: 3 + rng.Intn(4),
+		Seed:          seed,
+	}
+	return BuildPair(p)
+}
+
+// BuildPair builds the (data, query) pair described by p (after Clamp).
+//
+// The data graph is connected by construction — a random spanning tree
+// (vertex i attaches to a uniform ancestor) plus ExtraEdges uniform
+// edges — with labels drawn uniformly from the alphabet. The query is
+// DFS-grown from the data graph (§6.2's recipe), so it is connected,
+// label-consistent, and guaranteed at least one embedding.
+func BuildPair(p PairParams) (data, query *graph.Graph) {
+	p = p.Clamp()
+	rng := NewRNG(p.Seed)
+	b := graph.NewBuilder(p.DataVertices)
+	for v := 0; v < p.DataVertices; v++ {
+		b.SetLabel(graph.VertexID(v), graph.Label(rng.Intn(p.Labels)))
+	}
+	for v := 1; v < p.DataVertices; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(rng.Intn(v)))
+	}
+	for i := 0; i < p.ExtraEdges; i++ {
+		u := rng.Intn(p.DataVertices)
+		v := rng.Intn(p.DataVertices)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	data = b.MustBuild()
+	query, err := DFSQuery(data, p.QueryVertices, rng)
+	if err != nil {
+		// Unreachable: data is connected and QueryVertices <= DataVertices.
+		panic("gen: BuildPair: " + err.Error())
+	}
+	return data, query
+}

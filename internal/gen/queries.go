@@ -2,7 +2,6 @@ package gen
 
 import (
 	"fmt"
-	"math/rand"
 
 	"ceci/internal/graph"
 )
@@ -73,7 +72,7 @@ func mustEdges(n int, edges [][2]graph.VertexID) *graph.Graph {
 //
 // Returns an error if g has no connected region of the requested size
 // reachable from any of a bounded number of random restarts.
-func DFSQuery(g *graph.Graph, size int, rng *rand.Rand) (*graph.Graph, error) {
+func DFSQuery(g *graph.Graph, size int, rng Source) (*graph.Graph, error) {
 	if size < 1 || size > g.NumVertices() {
 		return nil, fmt.Errorf("gen: query size %d out of range", size)
 	}
@@ -106,7 +105,7 @@ func DFSQuery(g *graph.Graph, size int, rng *rand.Rand) (*graph.Graph, error) {
 
 // dfsSelect walks g depth-first from src, visiting neighbors in random
 // order, until size vertices are selected or the component is exhausted.
-func dfsSelect(g *graph.Graph, src graph.VertexID, size int, rng *rand.Rand) []graph.VertexID {
+func dfsSelect(g *graph.Graph, src graph.VertexID, size int, rng Source) []graph.VertexID {
 	sel := make([]graph.VertexID, 0, size)
 	seen := map[graph.VertexID]bool{src: true}
 	stack := []graph.VertexID{src}
@@ -132,7 +131,7 @@ func dfsSelect(g *graph.Graph, src graph.VertexID, size int, rng *rand.Rand) []g
 // §6.2 uses 100 per size). Queries that cannot be grown (tiny graphs) are
 // skipped; the returned slice may be shorter than count.
 func QuerySet(g *graph.Graph, size, count int, seed int64) []*graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	out := make([]*graph.Graph, 0, count)
 	for i := 0; i < count; i++ {
 		q, err := DFSQuery(g, size, rng)

@@ -1,0 +1,166 @@
+package gen
+
+import "ceci/internal/graph"
+
+// Minimize shrinks a failing (data, query) pair to a locally minimal
+// counterexample: it repeatedly bisects away vertices and edges of both
+// graphs — delta-debugging style, halving chunk sizes down to single
+// elements — keeping only candidates for which failing still reports
+// true, until no single removal reproduces the failure.
+//
+// failing must be a pure predicate; it is also responsible for rejecting
+// degenerate candidates (it simply returns false on graphs it cannot
+// evaluate — the harness's predicates treat engine errors that differ
+// from the original failure as "not failing"). failing is never called
+// with a nil graph. If failing(data, query) is false to begin with, the
+// pair is returned unchanged.
+func Minimize(data, query *graph.Graph, failing func(data, query *graph.Graph) bool) (*graph.Graph, *graph.Graph) {
+	if !failing(data, query) {
+		return data, query
+	}
+	for changed := true; changed; {
+		changed = false
+		if q, ok := shrinkVertices(query, func(cand *graph.Graph) bool {
+			return failing(data, cand)
+		}); ok {
+			query, changed = q, true
+		}
+		if d, ok := shrinkVertices(data, func(cand *graph.Graph) bool {
+			return failing(cand, query)
+		}); ok {
+			data, changed = d, true
+		}
+		if d, ok := shrinkEdges(data, func(cand *graph.Graph) bool {
+			return failing(cand, query)
+		}); ok {
+			data, changed = d, true
+		}
+		if q, ok := shrinkEdges(query, func(cand *graph.Graph) bool {
+			return failing(data, cand)
+		}); ok {
+			query, changed = q, true
+		}
+	}
+	return data, query
+}
+
+// shrinkVertices bisects vertex subsets out of g while ok accepts the
+// induced subgraph. Reports whether any removal stuck.
+func shrinkVertices(g *graph.Graph, ok func(*graph.Graph) bool) (*graph.Graph, bool) {
+	improved := false
+	for chunk := g.NumVertices() / 2; chunk >= 1; {
+		n := g.NumVertices()
+		if chunk > n-1 {
+			chunk = n - 1 // always keep at least one vertex
+		}
+		if chunk < 1 {
+			break
+		}
+		removedAny := false
+		for start := 0; start+chunk <= n; start += chunk {
+			cand := withoutVertexRange(g, start, start+chunk)
+			if cand != nil && ok(cand) {
+				g = cand
+				improved, removedAny = true, true
+				break // indices shifted; rescan at this chunk size
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return g, improved
+}
+
+// shrinkEdges bisects edge subsets out of g while ok accepts the result.
+func shrinkEdges(g *graph.Graph, ok func(*graph.Graph) bool) (*graph.Graph, bool) {
+	improved := false
+	for chunk := g.NumEdges() / 2; chunk >= 1; {
+		m := g.NumEdges()
+		if chunk > m {
+			chunk = m
+		}
+		if chunk < 1 {
+			break
+		}
+		removedAny := false
+		for start := 0; start+chunk <= m; start += chunk {
+			cand := withoutEdgeRange(g, start, start+chunk)
+			if cand != nil && ok(cand) {
+				g = cand
+				improved, removedAny = true, true
+				break
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return g, improved
+}
+
+// withoutVertexRange returns the subgraph of g induced by dropping
+// vertices [lo, hi), with IDs compacted; nil when nothing remains.
+func withoutVertexRange(g *graph.Graph, lo, hi int) *graph.Graph {
+	n := g.NumVertices()
+	if hi-lo >= n {
+		return nil
+	}
+	remap := make([]int, n)
+	kept := 0
+	for v := 0; v < n; v++ {
+		if v >= lo && v < hi {
+			remap[v] = -1
+			continue
+		}
+		remap[v] = kept
+		kept++
+	}
+	b := graph.NewBuilder(kept)
+	for v := 0; v < n; v++ {
+		if remap[v] < 0 {
+			continue
+		}
+		labels := g.Labels(graph.VertexID(v))
+		b.SetLabel(graph.VertexID(remap[v]), labels[0])
+		for _, l := range labels[1:] {
+			b.AddExtraLabel(graph.VertexID(remap[v]), l)
+		}
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		if remap[u] >= 0 && remap[v] >= 0 {
+			b.AddEdge(graph.VertexID(remap[u]), graph.VertexID(remap[v]))
+		}
+		return true
+	})
+	out, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// withoutEdgeRange returns g minus edges [lo, hi) in Edges order.
+func withoutEdgeRange(g *graph.Graph, lo, hi int) *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		labels := g.Labels(graph.VertexID(v))
+		b.SetLabel(graph.VertexID(v), labels[0])
+		for _, l := range labels[1:] {
+			b.AddExtraLabel(graph.VertexID(v), l)
+		}
+	}
+	i := 0
+	g.Edges(func(u, v graph.VertexID) bool {
+		if i < lo || i >= hi {
+			b.AddEdge(u, v)
+		}
+		i++
+		return true
+	})
+	out, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package gen
+
+import "ceci/internal/graph"
+
+// Graph transforms backing the metamorphic invariants of internal/verify:
+// subgraph-isomorphism counts must be invariant under data-vertex
+// permutation and label renaming, and non-increasing under edge deletion.
+
+// PermuteVertices returns a copy of g with vertex IDs relabeled by a
+// random permutation, plus the permutation itself (perm[old] = new).
+// Topology and labels travel with the vertices.
+func PermuteVertices(g *graph.Graph, rng Source) (*graph.Graph, []graph.VertexID) {
+	n := g.NumVertices()
+	p := rng.Perm(n)
+	perm := make([]graph.VertexID, n)
+	for old, nw := range p {
+		perm[old] = graph.VertexID(nw)
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		labels := g.Labels(graph.VertexID(v))
+		b.SetLabel(perm[v], labels[0])
+		for _, l := range labels[1:] {
+			b.AddExtraLabel(perm[v], l)
+		}
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(perm[u], perm[v])
+		return true
+	})
+	return b.MustBuild(), perm
+}
+
+// RenameLabels applies ren (a mapping over label values; identity beyond
+// its length) to every label of g. Passing the same bijection to a data
+// graph and its query preserves the embedding set exactly.
+func RenameLabels(g *graph.Graph, ren []graph.Label) *graph.Graph {
+	apply := func(l graph.Label) graph.Label {
+		if int(l) < len(ren) {
+			return ren[l]
+		}
+		return l
+	}
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		labels := g.Labels(graph.VertexID(v))
+		b.SetLabel(graph.VertexID(v), apply(labels[0]))
+		for _, l := range labels[1:] {
+			b.AddExtraLabel(graph.VertexID(v), apply(l))
+		}
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	return b.MustBuild()
+}
+
+// RandomLabelBijection returns a random permutation of the label alphabet
+// [0, numLabels).
+func RandomLabelBijection(numLabels int, rng Source) []graph.Label {
+	p := rng.Perm(numLabels)
+	ren := make([]graph.Label, numLabels)
+	for old, nw := range p {
+		ren[old] = graph.Label(nw)
+	}
+	return ren
+}
+
+// DeleteEdge returns a copy of g without its k-th edge (0-based, in
+// Edges iteration order, k taken modulo the edge count). Vertices and
+// labels are untouched; returns g itself when it has no edges.
+func DeleteEdge(g *graph.Graph, k int) *graph.Graph {
+	m := g.NumEdges()
+	if m == 0 {
+		return g
+	}
+	k = ((k % m) + m) % m
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		labels := g.Labels(graph.VertexID(v))
+		b.SetLabel(graph.VertexID(v), labels[0])
+		for _, l := range labels[1:] {
+			b.AddExtraLabel(graph.VertexID(v), l)
+		}
+	}
+	i := 0
+	g.Edges(func(u, v graph.VertexID) bool {
+		if i != k {
+			b.AddEdge(u, v)
+		}
+		i++
+		return true
+	})
+	return b.MustBuild()
+}

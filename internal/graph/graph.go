@@ -143,6 +143,30 @@ func (g *Graph) Edges(fn func(u, v VertexID) bool) {
 	}
 }
 
+// Connected reports whether g is a single connected component.
+func (g *Graph) Connected() bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []VertexID{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
 // String summarizes the graph.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{V=%d E=%d L=%d}", g.NumVertices(), g.NumEdges(), g.numLabels)

@@ -50,12 +50,31 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 	return b.Build()
 }
 
+// maxLabelValue bounds label values accepted by the loader. The dense
+// label alphabet materializes a per-label index, so an absurd label value
+// is an input error, not a 2^32-entry allocation.
+const maxLabelValue = 1 << 24
+
 // LoadLabeled reads the "t/v/e" labeled-graph format from r.
+//
+// The loader validates the input rather than silently repairing it: a
+// malformed header, a vertex or edge referring to an ID at or beyond the
+// header's declared vertex count, a label beyond maxLabelValue, and a
+// duplicate edge (in either orientation) are all errors with line
+// numbers, since each one signals a corrupt or mis-generated artifact.
 func LoadLabeled(r io.Reader) (*Graph, error) {
 	b := &Builder{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
+	declaredV := int64(-1)
+	seenEdges := map[[2]uint64]int{}
+	checkID := func(id uint64) error {
+		if declaredV >= 0 && id >= uint64(declaredV) {
+			return fmt.Errorf("graph: line %d: vertex %d out of range [0,%d) declared by header", lineNo, id, declaredV)
+		}
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -65,7 +84,21 @@ func LoadLabeled(r io.Reader) (*Graph, error) {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "t":
-			// header; vertex/edge counts are advisory
+			switch {
+			case len(fields) == 1:
+				// bare section marker; counts unknown
+			case len(fields) >= 3:
+				n, err := strconv.ParseInt(fields[1], 10, 32)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("graph: line %d: malformed header vertex count %q", lineNo, fields[1])
+				}
+				if _, err := strconv.ParseInt(fields[2], 10, 64); err != nil {
+					return nil, fmt.Errorf("graph: line %d: malformed header edge count %q", lineNo, fields[2])
+				}
+				declaredV = n
+			default:
+				return nil, fmt.Errorf("graph: line %d: malformed header %q (want \"t <vertices> <edges>\")", lineNo, line)
+			}
 		case "v":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("graph: line %d: vertex needs id and label", lineNo)
@@ -74,11 +107,17 @@ func LoadLabeled(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 			}
+			if err := checkID(id); err != nil {
+				return nil, err
+			}
 			for i, f := range fields[2:] {
 				// some variants append a degree column; accept pure ints only
 				l, err := strconv.ParseUint(f, 10, 32)
 				if err != nil {
 					return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				}
+				if l > maxLabelValue {
+					return nil, fmt.Errorf("graph: line %d: label %d out of range [0,%d]", lineNo, l, maxLabelValue)
 				}
 				if i == 0 {
 					b.SetLabel(VertexID(id), Label(l))
@@ -98,6 +137,20 @@ func LoadLabeled(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 			}
+			if err := checkID(u); err != nil {
+				return nil, err
+			}
+			if err := checkID(v); err != nil {
+				return nil, err
+			}
+			key := [2]uint64{u, v}
+			if v < u {
+				key = [2]uint64{v, u}
+			}
+			if first, dup := seenEdges[key]; dup {
+				return nil, fmt.Errorf("graph: line %d: duplicate edge (%d,%d) (first at line %d)", lineNo, u, v, first)
+			}
+			seenEdges[key] = lineNo
 			b.AddEdge(VertexID(u), VertexID(v))
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])

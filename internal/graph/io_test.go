@@ -1,0 +1,143 @@
+package graph_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ceci/internal/graph"
+)
+
+// Golden-file coverage for the .lg loaders/writers: a known-good fixture
+// must parse to the exact expected structure and survive a
+// parse → write → parse round-trip; known-bad fixtures must fail with the
+// loader's validation errors, not be silently repaired.
+
+func TestGoldenLabeledFile(t *testing.T) {
+	g, err := graph.LoadFile(filepath.Join("testdata", "golden_labeled.lg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 7 {
+		t.Fatalf("golden graph parsed as %v, want V=6 E=7", g)
+	}
+	wantLabels := map[graph.VertexID][]graph.Label{
+		0: {0}, 1: {1, 5}, 2: {2}, 3: {0}, 4: {1}, 5: {3, 5, 7},
+	}
+	for v, want := range wantLabels {
+		got := g.Labels(v)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d labels %v, want %v", v, got, want)
+		}
+		for _, l := range want {
+			if !g.HasLabel(v, l) {
+				t.Fatalf("vertex %d missing label %d (has %v)", v, l, got)
+			}
+		}
+	}
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+// TestGoldenRoundTrip: parse → write → parse must be the identity on
+// every committed .lg fixture, including the Fig. 1 pair.
+func TestGoldenRoundTrip(t *testing.T) {
+	paths := []string{
+		filepath.Join("testdata", "golden_labeled.lg"),
+		filepath.Join("..", "..", "testdata", "fig1_data.lg"),
+		filepath.Join("..", "..", "testdata", "fig1_query.lg"),
+	}
+	for _, path := range paths {
+		g, err := graph.LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		if err := graph.WriteLabeled(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", path, err)
+		}
+		g2, err := graph.LoadLabeled(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", path, err)
+		}
+		assertSameGraph(t, g, g2)
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Labels(graph.VertexID(v)), g2.Labels(graph.VertexID(v))
+			if len(a) != len(b) {
+				t.Fatalf("%s: vertex %d labels %v -> %v", path, v, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: vertex %d labels %v -> %v", path, v, a, b)
+				}
+			}
+		}
+		// Writing the reparsed graph must reproduce identical bytes.
+		var buf2 bytes.Buffer
+		if err := graph.WriteLabeled(&buf2, g2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: write is not a fixpoint", path)
+		}
+	}
+}
+
+func TestBadFixturesRejected(t *testing.T) {
+	cases := []struct {
+		file string
+		want string
+	}{
+		{"bad_header.lg", "malformed header"},
+		{"bad_dup_edge.lg", "duplicate edge"},
+		{"bad_label_range.lg", "label"},
+		{"bad_vertex_range.lg", "out of range"},
+	}
+	for _, c := range cases {
+		f, err := os.Open(filepath.Join("testdata", c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = graph.LoadLabeled(f)
+		f.Close()
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", c.file, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.file, err, c.want)
+		}
+	}
+}
+
+func TestLabeledValidationEdgeCases(t *testing.T) {
+	ok := []string{
+		"t\nv 0 0\nv 1 0\ne 0 1\n",           // bare section marker
+		"v 0 0\nv 1 0\ne 0 1\n",              // headerless
+		"t 2 1\nv 0 0\nv 1 0\ne 0 1\ne 1 1\n", // self-loop tolerated (dropped by the builder)
+	}
+	for _, in := range ok {
+		if _, err := graph.LoadLabeled(strings.NewReader(in)); err != nil {
+			t.Errorf("input %q rejected: %v", in, err)
+		}
+	}
+	bad := []string{
+		"t 2\nv 0 0\n",                        // header with one count
+		"t -2 1\nv 0 0\n",                     // negative vertex count
+		"t 2 x\nv 0 0\n",                      // non-integer edge count
+		"t 2 1\nv 0 0\nv 1 0\ne 0 1\ne 0 1\n", // duplicate, same orientation
+		"t 2 1\nv 0 0\nv 1 0\ne 0 1\ne 1 0\n", // duplicate, flipped
+		"t 2 1\nv 0 0\nv 1 0\ne 0 2\n",        // edge endpoint beyond header
+		"v 0 99999999\n",                      // label beyond maxLabelValue
+	}
+	for _, in := range bad {
+		if _, err := graph.LoadLabeled(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

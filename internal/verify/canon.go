@@ -1,0 +1,67 @@
+package verify
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"ceci/internal/auto"
+	"ceci/internal/graph"
+)
+
+// Canonicalization: engines are compared on embedding *sets*, not counts.
+// Two embeddings that differ only by permuting data vertices within an
+// automorphism equivalence class of the query (internal/auto's NEC
+// classes) describe the same subgraph, so each embedding is first folded
+// to its orbit representative — the assignment where class members carry
+// their matched data vertices in ascending order — and the set is then
+// deduplicated and sorted. This makes comparison independent of which
+// representative an engine emits and of whether it breaks symmetries at
+// all.
+
+// CanonicalEmbedding returns the canonical encoding of one embedding
+// under the automorphism classes in cons (which may be nil).
+func CanonicalEmbedding(emb []graph.VertexID, cons *auto.Constraints) string {
+	canon := emb
+	if cons != nil && !cons.Empty() {
+		canon = make([]graph.VertexID, len(emb))
+		copy(canon, emb)
+		var vals []graph.VertexID
+		for _, class := range cons.Classes {
+			vals = vals[:0]
+			for _, u := range class {
+				vals = append(vals, canon[u])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for i, u := range class {
+				canon[u] = vals[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for i, v := range canon {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(v), 10))
+	}
+	return b.String()
+}
+
+// CanonicalSet canonicalizes, deduplicates, and sorts a list of
+// embeddings into a comparable set representation.
+func CanonicalSet(embs [][]graph.VertexID, cons *auto.Constraints) []string {
+	out := make([]string, 0, len(embs))
+	for _, e := range embs {
+		out = append(out, CanonicalEmbedding(e, cons))
+	}
+	sort.Strings(out)
+	w := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[w] = s
+			w++
+		}
+	}
+	return out[:w]
+}
