@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt ci verify fuzz experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare vet fmt ci verify fuzz experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,22 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable regression tracking: run the fixed suite and write
+# BENCH_<name>.json. Refresh the committed baseline with
+# `make bench-json BENCH_DIR=cmd/cecibench/testdata BENCH_NAME=baseline`.
+BENCH_DIR ?= bench
+BENCH_NAME ?= bench
+BENCH_THRESHOLD ?= 0.25
+bench-json:
+	$(GO) run ./cmd/cecibench -json-out $(BENCH_DIR) -bench-name $(BENCH_NAME)
+
+# Run the suite and fail (exit non-zero) on regression vs the committed
+# baseline. Timing thresholds assume the same machine as the baseline;
+# CI uses a much looser threshold (see .github/workflows/ci.yml).
+bench-compare:
+	$(GO) run ./cmd/cecibench -json-out $(BENCH_DIR) -bench-name $(BENCH_NAME) \
+		-compare cmd/cecibench/testdata/BENCH_baseline.json -threshold $(BENCH_THRESHOLD)
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +58,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/cluster ./internal/obs ./internal/stats ./internal/verify
+	$(GO) test -race ./internal/enum ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/verify
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

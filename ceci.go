@@ -46,6 +46,7 @@ import (
 	"ceci/internal/graph"
 	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/prof"
 	"ceci/internal/stats"
 	"ceci/internal/workload"
 )
@@ -177,6 +178,10 @@ type Options struct {
 	Progress ProgressFunc
 	// ProgressInterval is the reporting period (default 1s).
 	ProgressInterval time.Duration
+
+	// profile, when non-nil, threads the EXPLAIN ANALYZE collector
+	// through the build and the enumeration. Set by ExplainAnalyze.
+	profile *prof.Collector
 }
 
 func (o *Options) normalized() Options {
@@ -229,6 +234,7 @@ func Match(data, query *Graph, opts *Options) (*Matcher, error) {
 		RefineRounds: o.RefineRounds,
 		Stats:        o.Stats,
 		Tracer:       o.Tracer,
+		Profile:      o.profile,
 	})
 	m := enum.NewMatcher(ix, enum.Options{
 		Workers:                 o.Workers,
@@ -240,6 +246,7 @@ func Match(data, query *Graph, opts *Options) (*Matcher, error) {
 		Stats:                   o.Stats,
 		Trace:                   o.Tracer,
 		Progress:                o.reporter(),
+		Profile:                 o.profile,
 	})
 	return &Matcher{inner: m, index: ix, opts: o}, nil
 }

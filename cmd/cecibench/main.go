@@ -63,8 +63,30 @@ func main() {
 		large   = flag.Bool("large", false, "include the largest substitutes (fs_s, yh_s) where skipped by default")
 		workers = flag.Int("workers", 32, "simulated worker-count ceiling for scalability figures")
 		listen  = flag.String("listen", "", "serve telemetry (/metrics, /metrics.json, /debug/pprof) on this address while experiments run")
+
+		jsonOut   = flag.String("json-out", "", "run the regression suite and write BENCH_<name>.json into this directory")
+		benchName = flag.String("bench-name", "bench", "name embedded in the BENCH json filename")
+		compare   = flag.String("compare", "", "compare against this baseline BENCH json; exit non-zero on regression")
+		candidate = flag.String("candidate", "", "with -compare: use this pre-recorded BENCH json instead of re-running the suite")
+		threshold = flag.Float64("threshold", 0.25, "relative regression threshold for -compare timing metrics")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" || *compare != "" {
+		err := runBenchJSON(benchJSONConfig{
+			jsonOut:   *jsonOut,
+			name:      *benchName,
+			compare:   *compare,
+			candidate: *candidate,
+			threshold: *threshold,
+			workers:   *workers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cecibench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *listen != "" {
 		// Long experiment sweeps are exactly when a pprof profile or a

@@ -53,6 +53,10 @@ type runConfig struct {
 	verbose   bool
 	explain   bool
 
+	// Profiling.
+	explainAnalyze bool   // -explain-analyze: run with deep instrumentation, print the profile
+	profileJSON    string // -profile-json: write the ExplainAnalyze report as JSON here
+
 	// Observability.
 	statsJSON     bool          // -stats: dump counters + span tree as JSON to stderr
 	listen        string        // -listen: serve /metrics, /metrics.json, /trace, /debug/pprof
@@ -84,6 +88,8 @@ func main() {
 	flag.BoolVar(&cfg.printEmbs, "print", false, "print each embedding")
 	flag.BoolVar(&cfg.verbose, "v", false, "print index statistics and counters")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the query plan before running")
+	flag.BoolVar(&cfg.explainAnalyze, "explain-analyze", false, "execute with deep instrumentation and print the per-vertex profile")
+	flag.StringVar(&cfg.profileJSON, "profile-json", "", "write the EXPLAIN ANALYZE report as JSON to this file (implies instrumentation)")
 	flag.BoolVar(&cfg.statsJSON, "stats", false, "print the final counter snapshot and span tree as JSON to stderr")
 	flag.StringVar(&cfg.listen, "listen", "", "serve telemetry (/metrics, /metrics.json, /trace, /debug/pprof) on this address")
 	flag.DurationVar(&cfg.progressEvery, "progress", 0, "print live progress to stderr at this interval (0 = off)")
@@ -195,8 +201,37 @@ func run(cfg runConfig) error {
 		fmt.Fprintf(cfg.errw, "telemetry: http://%s/\n", srv.Addr())
 	}
 
-	fmt.Printf("data:  %v\n", data)
-	fmt.Printf("query: %v\n", query)
+	fmt.Fprintf(cfg.outw, "data:  %v\n", data)
+	fmt.Fprintf(cfg.outw, "query: %v\n", query)
+
+	if cfg.explainAnalyze || cfg.profileJSON != "" {
+		rep, err := ceci.ExplainAnalyze(data, query, opts)
+		if err != nil {
+			return err
+		}
+		if cfg.explainAnalyze {
+			fmt.Fprintln(cfg.outw)
+			fmt.Fprint(cfg.outw, rep.Text())
+		} else {
+			fmt.Fprintf(cfg.outw, "embeddings: %d\n", rep.Embeddings)
+			fmt.Fprintf(cfg.outw, "build:      %v\n", rep.BuildTime)
+			fmt.Fprintf(cfg.outw, "enumerate:  %v\n", rep.EnumTime)
+		}
+		if cfg.profileJSON != "" {
+			b, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.profileJSON, append(b, '\n'), 0o644); err != nil {
+				return fmt.Errorf("-profile-json: %w", err)
+			}
+			fmt.Fprintf(cfg.errw, "profile written to %s\n", cfg.profileJSON)
+		}
+		if cfg.statsJSON {
+			return writeStatsJSON(cfg.errw, opts)
+		}
+		return nil
+	}
 
 	buildStart := time.Now()
 	m, err := ceci.Match(data, query, opts)

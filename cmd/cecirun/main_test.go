@@ -58,6 +58,61 @@ func TestRunBuiltins(t *testing.T) {
 	}
 }
 
+func TestRunExplainAnalyze(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	var stdout, stderr bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 2, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		explainAnalyze: true, outw: &stdout, errw: &stderr,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"embeddings: 2", "filter funnel", "index shape",
+		"enumeration intersections", "cluster cardinality distribution",
+		"workers", "phases",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-explain-analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunProfileJSON(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	profPath := filepath.Join(t.TempDir(), "profile.json")
+	var stdout, stderr bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		profileJSON: profPath, outw: &stdout, errw: &stderr,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ceci.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("-profile-json is not valid JSON: %v", err)
+	}
+	if rep.Embeddings != 2 {
+		t.Fatalf("embeddings = %d, want 2", rep.Embeddings)
+	}
+	if len(rep.Profile.Vertices) == 0 || rep.Profile.Clusters.Pivots.Count == 0 {
+		t.Fatalf("profile incomplete: %+v", rep.Profile)
+	}
+	// Without -explain-analyze the standard summary still prints.
+	if !strings.Contains(stdout.String(), "embeddings: 2") {
+		t.Fatalf("summary missing:\n%s", stdout.String())
+	}
+}
+
 func TestRunStatsJSON(t *testing.T) {
 	dataPath, queryPath := writeFixtures(t)
 	var stderr bytes.Buffer

@@ -9,6 +9,7 @@ import (
 	"ceci/internal/graph"
 	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/prof"
 	"ceci/internal/setops"
 )
 
@@ -31,6 +32,17 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 		opts:  opts,
 	}
 	ix.indexNTEChildren()
+	if p := opts.Profile; p != nil {
+		// Idempotent, so the incremental mode's per-cluster builds all
+		// share one collector and their counters accumulate.
+		p.InitQuery(tree.NumVertices(), func(u int) []int {
+			parents := make([]int, len(tree.NTEParents[u]))
+			for j, pv := range tree.NTEParents[u] {
+				parents[j] = int(pv)
+			}
+			return parents
+		})
+	}
 
 	// Root candidates = cluster pivots.
 	root := tree.Root
@@ -67,7 +79,29 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 	if opts.Stats != nil {
 		opts.Stats.IndexBytes.Store(ix.SizeBytes())
 	}
+	if p := opts.Profile; p != nil {
+		ix.recordShape(p)
+	}
 	return ix
+}
+
+// recordShape charges the surviving index shape — candidate counts and
+// TE/NTE entry and candidate-edge totals — to the profile. Adds rather
+// than stores: the incremental mode builds one cluster at a time and the
+// per-cluster shapes sum to the whole-index shape.
+func (ix *Index) recordShape(p *prof.Collector) {
+	for u := range ix.Nodes {
+		node := &ix.Nodes[u]
+		vc := p.Vertex(u)
+		vc.FinalCands.Add(int64(len(node.Cands)))
+		vc.TEEntries.Add(int64(node.TE.Len()))
+		vc.TECandidates.Add(node.TE.CandidateEdges())
+		for j := range node.NTE {
+			nc := vc.NTE(j)
+			nc.Entries.Add(int64(node.NTE[j].Len()))
+			nc.Candidates.Add(node.NTE[j].CandidateEdges())
+		}
+	}
 }
 
 func (ix *Index) indexNTEChildren() {
@@ -183,6 +217,18 @@ func (ix *Index) buildNTE(u graph.VertexID) {
 				node.NTE[j].AppendKey(vn, values[i])
 			}
 		}
+		if p := ix.opts.Profile; p != nil {
+			// Merge-intersection work: |adj(vn)| + |Cands(u)| comparisons
+			// per frontier key, versus what each intersection kept.
+			var cmp, out int64
+			for i, vn := range frontier {
+				cmp += int64(len(ix.Data.Neighbors(vn)) + len(node.Cands))
+				out += int64(len(values[i]))
+			}
+			nc := p.Vertex(int(u)).NTE(j)
+			nc.BuildComparisons.Add(cmp)
+			nc.BuildOutput.Add(out)
+		}
 	}
 }
 
@@ -199,8 +245,12 @@ func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.Ve
 		st.RemoteReads.Add(1) // one adjacency-list fetch per frontier vertex
 	}
 
+	// Funnel counters accumulate in locals — one batched atomic add per
+	// frontier vertex, nothing on the per-neighbor path.
+	var dropLabel, dropDegree, dropNLC int64
+	neighbors := data.Neighbors(vf)
 	var out []graph.VertexID
-	for _, v := range data.Neighbors(vf) {
+	for _, v := range neighbors {
 		// Label filter.
 		okLabel := true
 		for _, l := range qLabels {
@@ -213,6 +263,7 @@ func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.Ve
 			if st != nil {
 				st.FilteredLabel.Add(1)
 			}
+			dropLabel++
 			continue
 		}
 		// Degree filter.
@@ -220,6 +271,7 @@ func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.Ve
 			if st != nil {
 				st.FilteredDegree.Add(1)
 			}
+			dropDegree++
 			continue
 		}
 		// Neighborhood label count filter.
@@ -227,9 +279,17 @@ func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.Ve
 			if st != nil {
 				st.FilteredNLC.Add(1)
 			}
+			dropNLC++
 			continue
 		}
 		out = append(out, v)
+	}
+	if p := ix.opts.Profile; p != nil {
+		vc := p.Vertex(int(u))
+		vc.NeighborsScanned.Add(int64(len(neighbors)))
+		vc.DroppedLabel.Add(dropLabel)
+		vc.DroppedDegree.Add(dropDegree)
+		vc.DroppedNLC.Add(dropNLC)
 	}
 	// data.Neighbors is sorted, so out is sorted.
 	return out
@@ -247,6 +307,11 @@ func (ix *Index) removeCandidate(u graph.VertexID, v graph.VertexID) {
 		return // already removed
 	}
 	node.Cands = append(node.Cands[:i], node.Cands[i+1:]...)
+	if p := ix.opts.Profile; p != nil {
+		// Every deletion counts here; refine() separately counts the
+		// refinement-initiated ones, so cascades = removed - refined.
+		p.Vertex(int(u)).AddRemoved(1)
+	}
 
 	// Drop v wherever it appears as a value of u's own structures.
 	var emptied []graph.VertexID

@@ -12,6 +12,7 @@ import (
 	"ceci/internal/graph"
 	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/prof"
 	"ceci/internal/stats"
 )
 
@@ -79,6 +80,10 @@ type Options struct {
 	// build, every adjacency-list fetch increments Stats.RemoteReads so
 	// the shared-storage cost model can charge IO per access.
 	Stats *stats.Counters
+	// Profile, when non-nil, receives the EXPLAIN ANALYZE accounting:
+	// the per-query-vertex filter funnel, refinement/cascade deletions,
+	// final TE/NTE shape, and enumeration-time intersection costs.
+	Profile *prof.Collector
 	// Tracer, when non-nil, records a "build" span with "expand" and
 	// per-round "refine" children.
 	Tracer *obs.Tracer

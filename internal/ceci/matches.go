@@ -30,6 +30,12 @@ func (ix *Index) CandidatesFor(u graph.VertexID, m []graph.VertexID, sc *MatchSc
 		return nil
 	}
 	if len(node.NTE) == 0 {
+		if p := ix.opts.Profile; p != nil {
+			vc := p.Vertex(int(u))
+			vc.EnumLookups.Add(1)
+			vc.EnumOutput.Add(int64(len(base)))
+			p.ObserveEnumOutput(len(base))
+		}
 		return base
 	}
 	lists := sc.lists[:0]
@@ -38,6 +44,9 @@ func (ix *Index) CandidatesFor(u graph.VertexID, m []graph.VertexID, sc *MatchSc
 		l := node.NTE[j].Get(m[un])
 		if len(l) == 0 {
 			sc.lists = lists
+			if p := ix.opts.Profile; p != nil {
+				p.Vertex(int(u)).EnumLookups.Add(1)
+			}
 			return nil
 		}
 		lists = append(lists, l)
@@ -46,7 +55,20 @@ func (ix *Index) CandidatesFor(u graph.VertexID, m []graph.VertexID, sc *MatchSc
 	if ix.opts.Stats != nil {
 		ix.opts.Stats.IntersectionOps.Add(int64(len(lists) - 1))
 	}
-	return setops.IntersectK(&sc.S, lists)
+	result := setops.IntersectK(&sc.S, lists)
+	if p := ix.opts.Profile; p != nil {
+		var cmp int64
+		for _, l := range lists {
+			cmp += int64(len(l))
+		}
+		vc := p.Vertex(int(u))
+		vc.EnumLookups.Add(1)
+		vc.EnumIntersections.Add(int64(len(lists) - 1))
+		vc.EnumComparisons.Add(cmp)
+		vc.EnumOutput.Add(int64(len(result)))
+		p.ObserveEnumOutput(len(result))
+	}
+	return result
 }
 
 // CandidatesForEdgeVerify is the ablation variant (Section 4.1, Lemma 2):

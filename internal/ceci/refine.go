@@ -39,6 +39,9 @@ func (ix *Index) refine() {
 				if ix.opts.Stats != nil {
 					ix.opts.Stats.FilteredRefine.Add(1)
 				}
+				if p := ix.opts.Profile; p != nil {
+					p.Vertex(int(u)).AddRefined(1)
+				}
 				ix.removeCandidate(u, v)
 				continue
 			}

@@ -43,6 +43,7 @@ import (
 	"ceci/internal/graph"
 	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/prof"
 	"ceci/internal/setops"
 	"ceci/internal/stats"
 	"ceci/internal/workload"
@@ -98,6 +99,12 @@ type Config struct {
 	Stats *stats.Counters
 	// Tracer records per-machine build/enumerate spans (may be nil).
 	Tracer *obs.Tracer
+	// Profile receives the EXPLAIN ANALYZE accounting (may be nil): the
+	// filter funnel of every machine's build, enumeration intersection
+	// costs, per-machine cluster cardinalities, and one worker slot per
+	// machine filled from its ledger (busy = enumerate wall time,
+	// units = clusters executed, steals = clusters stolen).
+	Profile *prof.Collector
 	// Obs, when non-nil, is wired to the run: Stats become its counter
 	// set, the tracer is attached, and a "cluster" gauge source exposes
 	// per-machine pending-queue depth (and, in TCP mode, stolen-cluster
@@ -234,6 +241,8 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 		res.Machines[i].MessagesSent++
 	}
 
+	cfg.Profile.EnsureWorkers(cfg.Machines)
+
 	var total atomic.Int64
 	var steals atomic.Int64
 	var wg sync.WaitGroup
@@ -259,6 +268,7 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 			res.Makespan = t
 		}
 	}
+	cfg.Profile.AddEnumWall(res.Makespan)
 	// Embeddings, steals, and remote reads were added to cfg.Stats live,
 	// per pivot/steal, inside machine.run.
 	return res, nil
@@ -439,9 +449,20 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 			Workers: m.cfg.WorkersPerMachine,
 			Pivots:  myPivots,
 			Stats:   st,
+			Profile: m.cfg.Profile,
 		})
 	}
 	bsp.End()
+	if p := m.cfg.Profile; p != nil && ix != nil {
+		// The per-pivot inner matchers get no profile (their worker IDs
+		// would collide across machines); this machine's cluster
+		// cardinalities and ledger are recorded here instead.
+		cards := make([]int64, len(myPivots))
+		for i, pv := range myPivots {
+			cards[i] = ix.ClusterCardinality(pv)
+		}
+		p.RecordClusters(workload.FGD.String(), cards, cards)
+	}
 	m.ledger.BuildCompute = time.Since(start)
 	m.ledger.RemoteReads = st.RemoteReads.Load()
 	if g := m.cfg.Stats; g != nil {
@@ -466,8 +487,9 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	esp := m.span.Child("enumerate")
 	defer esp.End()
 	enumStart := time.Now()
-	var found int64
+	var found, executed int64
 	runPivot := func(ix *ceci.Index, pivot graph.VertexID) {
+		executed++
 		sub := restrictIndex(ix, pivot)
 		matcher := enum.NewMatcher(sub, enum.Options{
 			Workers:  m.cfg.WorkersPerMachine,
@@ -521,6 +543,7 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	}
 	m.ledger.Enumerate = time.Since(enumStart)
 	m.ledger.Embeddings = found
+	m.cfg.Profile.RecordWorker(m.id, m.ledger.Enumerate, executed, int64(m.ledger.Stolen))
 }
 
 // restrictIndex views ix through a single pivot without copying: the

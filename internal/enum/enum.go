@@ -15,6 +15,7 @@ import (
 	"ceci/internal/ceci"
 	"ceci/internal/graph"
 	"ceci/internal/obs"
+	"ceci/internal/prof"
 	"ceci/internal/stats"
 	"ceci/internal/workload"
 )
@@ -46,6 +47,11 @@ type Options struct {
 	// the reporter is started when enumeration begins and stopped (with
 	// a final report) when it ends (may be nil).
 	Progress *obs.Reporter
+	// Profile receives the EXPLAIN ANALYZE accounting: cluster/unit
+	// cardinality distributions and per-worker busy/unit/steal totals
+	// (may be nil). Attach the same collector to the build options to
+	// also capture the filter funnel and index shape.
+	Profile *prof.Collector
 }
 
 // Matcher enumerates the embeddings represented by a CECI index.
@@ -139,6 +145,28 @@ func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
 		obs.Int("units", int64(len(units))),
 		obs.Int("workers", int64(workers)))
 	defer span.End()
+
+	if st := m.opts.Stats; st != nil {
+		st.UnitsScheduled.Add(int64(len(units)))
+		if n := len(units) - len(m.ix.Pivots()); n > 0 {
+			st.ExtremeSplits.Add(int64(n))
+		}
+	}
+	if p := m.opts.Profile; p != nil {
+		pivots := m.ix.Pivots()
+		pivotCards := make([]int64, len(pivots))
+		for i, pv := range pivots {
+			pivotCards[i] = m.ix.ClusterCardinality(pv)
+		}
+		unitCards := make([]int64, len(units))
+		for i, u := range units {
+			unitCards[i] = u.Card
+		}
+		p.RecordClusters(m.opts.Strategy.String(), pivotCards, unitCards)
+		p.EnsureWorkers(workers)
+		enumStart := time.Now()
+		defer func() { p.AddEnumWall(time.Since(enumStart)) }()
+	}
 
 	ctl := &control{fn: fn, limit: m.opts.Limit}
 
@@ -242,7 +270,9 @@ func (m *Matcher) runWorker(id int, ctl *control, parent *obs.Span, next func() 
 		}
 		ok = s.runUnit(unit)
 		span.End()
-		m.opts.Clock.Add(id, time.Since(start))
+		elapsed := time.Since(start)
+		m.opts.Clock.Add(id, elapsed)
+		m.opts.Profile.WorkerUnit(id, elapsed)
 		if rep := m.opts.Progress; rep != nil {
 			rep.ClusterDone(unit.Card)
 			s.flush()

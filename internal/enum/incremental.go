@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ceci/internal/auto"
 	"ceci/internal/ceci"
@@ -61,11 +62,20 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 		obs.Int("workers", int64(workers)))
 	defer span.End()
 
+	if p := eopts.Profile; p != nil {
+		if bopts.Profile == nil {
+			bopts.Profile = p // one attach point covers the per-cluster builds
+		}
+		p.EnsureWorkers(workers)
+		enumStart := time.Now()
+		defer func() { p.AddEnumWall(time.Since(enumStart)) }()
+	}
+
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One matcher shell and searcher per worker; the index is
 			// swapped per cluster so buffers are reused.
@@ -82,6 +92,7 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 				if i >= int64(len(pivots)) || ctl.stop.Load() {
 					return
 				}
+				unitStart := time.Now()
 				pivotBuf[0] = pivots[i]
 				clusterOpts := bopts
 				clusterOpts.Workers = 1
@@ -89,6 +100,7 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 				clusterOpts.Tracer = nil // per-cluster builds would flood the trace
 				ix := ceci.Build(data, tree, clusterOpts)
 				if len(ix.Pivots()) == 0 {
+					eopts.Profile.WorkerUnit(w, time.Since(unitStart))
 					eopts.Progress.ClusterDone(0)
 					continue // cluster died during filtering/refinement
 				}
@@ -97,6 +109,7 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 					s = newSearcher(shell, ctl)
 				}
 				ok := s.runUnit(workload.Unit{Prefix: pivotBuf[:1]})
+				eopts.Profile.WorkerUnit(w, time.Since(unitStart))
 				if rep := eopts.Progress; rep != nil {
 					rep.ClusterDone(0)
 					s.flush()
@@ -105,7 +118,7 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

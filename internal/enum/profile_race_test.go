@@ -1,0 +1,104 @@
+package enum_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/gen"
+	"ceci/internal/order"
+	"ceci/internal/prof"
+	"ceci/internal/stats"
+	"ceci/internal/workload"
+)
+
+// profiledCount runs a full build + enumeration over the seeded pair
+// with an attached profile collector and returns the snapshot.
+func profiledCount(t *testing.T, seed int64, workers int, strategy workload.Strategy) (prof.Profile, int64, map[string]int64) {
+	t.Helper()
+	data, query := gen.RandomPair(seed)
+	tree, err := order.Preprocess(data, query, order.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: Preprocess: %v", seed, err)
+	}
+	p := prof.New()
+	st := &stats.Counters{}
+	ix := ceci.Build(data, tree, ceci.Options{Stats: st, Profile: p})
+	m := enum.NewMatcher(ix, enum.Options{Workers: workers, Strategy: strategy, Stats: st, Profile: p})
+	n := m.Count()
+	return p.Snapshot(), n, st.Snapshot()
+}
+
+// TestProfileDeterministicAcrossRuns is the EXPLAIN ANALYZE determinism
+// guarantee: for a fixed seed the canonical profile (timings stripped)
+// is a pure function of (data, query, options), so two 8-worker runs —
+// with nondeterministic unit interleaving — must produce identical
+// counters, funnels, and histograms. Run under -race this also shakes
+// out unsynchronized collector access.
+func TestProfileDeterministicAcrossRuns(t *testing.T) {
+	for _, seed := range []int64{7, 42, 1234} {
+		p1, n1, _ := profiledCount(t, seed, 8, workload.FGD)
+		p2, n2, _ := profiledCount(t, seed, 8, workload.FGD)
+		if n1 != n2 {
+			t.Fatalf("seed %d: embeddings %d vs %d across runs", seed, n1, n2)
+		}
+		c1, c2 := p1.Canonical(), p2.Canonical()
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("seed %d: canonical profiles differ:\n%+v\n%+v", seed, c1, c2)
+		}
+	}
+}
+
+// TestProfileConsistentAcrossWorkerCounts: under ST the same whole
+// clusters are enumerated regardless of worker count, so an 8-worker
+// run must account for exactly the same work as a serial run — any
+// difference means a lost (racy) counter update. (FGD is excluded:
+// its extreme-cluster decomposition legitimately depends on the
+// worker count, changing per-unit enumeration counters.)
+func TestProfileConsistentAcrossWorkerCounts(t *testing.T) {
+	for _, seed := range []int64{7, 42, 1234} {
+		serial, n1, st1 := profiledCount(t, seed, 1, workload.ST)
+		parallel, n8, st8 := profiledCount(t, seed, 8, workload.ST)
+		if n1 != n8 {
+			t.Fatalf("seed %d: embeddings %d (1 worker) vs %d (8 workers)", seed, n1, n8)
+		}
+		s, p := serial.Canonical(), parallel.Canonical()
+		if !reflect.DeepEqual(s, p) {
+			t.Fatalf("seed %d: canonical profiles differ between 1 and 8 workers:\n%+v\n%+v", seed, s, p)
+		}
+		for _, key := range []string{"embeddings", "recursive_calls", "intersection_ops", "units_scheduled"} {
+			if st1[key] != st8[key] {
+				t.Fatalf("seed %d: stats %q = %d (1 worker) vs %d (8 workers)", seed, key, st1[key], st8[key])
+			}
+		}
+	}
+}
+
+// TestProfileWorkerAccounting checks the non-canonical (timing) side:
+// every scheduled unit is attributed to exactly one of the 8 worker
+// slots and the unit-seconds histogram saw every unit.
+func TestProfileWorkerAccounting(t *testing.T) {
+	p, _, st := profiledCount(t, 42, 8, workload.FGD)
+	if len(p.Workers) != 8 {
+		t.Fatalf("worker slots = %d, want 8", len(p.Workers))
+	}
+	var units int64
+	for _, w := range p.Workers {
+		units += w.Units
+		if w.Idle < 0 {
+			t.Fatalf("worker %d: negative idle %v", w.Worker, w.Idle)
+		}
+	}
+	scheduled := st["units_scheduled"]
+	if scheduled <= 0 || units != scheduled {
+		t.Fatalf("worker units sum = %d, units_scheduled = %d", units, scheduled)
+	}
+	h, ok := p.Histograms["unit_seconds"]
+	if !ok {
+		t.Fatal("unit_seconds histogram missing")
+	}
+	if int64(h.Count) != scheduled {
+		t.Fatalf("unit_seconds histogram count = %d, want %d", h.Count, scheduled)
+	}
+}

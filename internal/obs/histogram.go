@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe from
+// enumeration workers: per-bucket atomic counters plus a CAS-updated
+// float64 sum, no locks on the observation path. A nil *Histogram turns
+// every method into a no-op, matching the rest of the package.
+//
+// Buckets follow the Prometheus convention: bounds are inclusive upper
+// limits ("le"), and an implicit +Inf bucket catches everything beyond
+// the last bound.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds.
+// Bounds are copied, sorted, and deduplicated; an empty slice yields a
+// single +Inf bucket (count/sum only).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Int64, len(dedup)+1)}
+}
+
+// ExponentialBuckets returns n upper bounds starting at start, each
+// factor times the previous — the standard shape for latencies and sizes.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 1µs to ~17s in powers of four — wide enough for
+// per-unit enumeration times on both toy and saturated runs.
+func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 4, 13) }
+
+// SizeBuckets spans 1 to ~10⁹ in powers of four, for candidate-list and
+// cluster-cardinality distributions.
+func SizeBuckets() []float64 { return ExponentialBuckets(1, 4, 16) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, else +Inf slot
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveInt records an integral value (cardinalities, list sizes).
+func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// HistogramSnapshot is an immutable, JSON-marshalable view of a
+// histogram. Counts are per-bucket (not cumulative); Counts has one more
+// entry than Bounds — the final slot is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot captures the current state. Under concurrent observation the
+// per-bucket counts and the total may be momentarily out of sync by the
+// in-flight observations; each value is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the running average of observed values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// promLabel formats a bucket bound for the "le" label.
+func promLabel(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

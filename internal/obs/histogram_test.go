@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 land in le=1 (inclusive upper bound), 5 in le=10,
+	// 50 in le=100, 500 and 5000 overflow to +Inf.
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0.5+1+5+50+500+5000 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+	if got := s.Mean(); got != s.Sum/6 {
+		t.Fatalf("mean = %g", got)
+	}
+}
+
+func TestHistogramBoundsSortedDeduped(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10, 10, 1})
+	s := h.Snapshot()
+	if len(s.Bounds) != 3 || s.Bounds[0] != 1 || s.Bounds[1] != 10 || s.Bounds[2] != 100 {
+		t.Fatalf("bounds = %v", s.Bounds)
+	}
+	if len(s.Counts) != 4 {
+		t.Fatalf("counts len = %d, want 4", len(s.Counts))
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.ObserveInt(3)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(SizeBuckets())
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.ObserveInt(int64(i % 1000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("count = %d, want %d (lost updates)", s.Count, workers*each)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	// Sum of 0..999 per pass, workers*each/1000 passes.
+	wantSum := float64(999*1000/2) * float64(workers*each) / 1000
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %g, want %g (lost float updates)", s.Sum, wantSum)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+}
+
+// TestRegistryHistogramExposition validates the Prometheus text
+// exposition: cumulative _bucket series ending at +Inf, then _sum and
+// _count, with the +Inf bucket equal to the total count.
+func TestRegistryHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	reg.SetHistogram("unit_seconds", h)
+
+	text := reg.PrometheusText()
+	wantLines := []string{
+		"# TYPE ceci_unit_seconds histogram",
+		`ceci_unit_seconds_bucket{le="0.001"} 1`,
+		`ceci_unit_seconds_bucket{le="0.01"} 2`,
+		`ceci_unit_seconds_bucket{le="0.1"} 3`,
+		`ceci_unit_seconds_bucket{le="+Inf"} 4`,
+		"ceci_unit_seconds_sum 0.5555",
+		"ceci_unit_seconds_count 4",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(text, w) {
+			t.Fatalf("exposition missing %q in:\n%s", w, text)
+		}
+	}
+
+	// Cumulative monotonicity across every _bucket line.
+	var prev int64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "ceci_unit_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegistryHistogramJSON(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1.5)
+	reg.SetHistogram("card", h)
+
+	b, err := reg.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := doc.Histograms["card"]
+	if !ok {
+		t.Fatalf("histograms missing card: %s", b)
+	}
+	if s.Count != 1 || s.Sum != 1.5 || len(s.Counts) != 3 || s.Counts[1] != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+
+	// Unregister by setting nil.
+	reg.SetHistogram("card", nil)
+	b, _ = reg.MetricsJSON()
+	if strings.Contains(string(b), "histograms") {
+		t.Fatalf("unregistered histogram still rendered: %s", b)
+	}
+}

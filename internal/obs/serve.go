@@ -25,6 +25,7 @@ type Registry struct {
 	progress Progress
 	hasProg  bool
 	sources  map[string]func() map[string]int64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -98,11 +99,40 @@ func (r *Registry) SetSource(name string, fn func() map[string]int64) {
 	r.mu.Unlock()
 }
 
+// SetHistogram registers (or replaces) a named histogram, rendered as
+// ceci_<name>_bucket/_sum/_count series by PrometheusText and under the
+// "histograms" key of MetricsJSON. The histogram is snapshotted at
+// scrape time, so attach it once and keep observing.
+func (r *Registry) SetHistogram(name string, h *Histogram) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	if h == nil {
+		delete(r.hists, name)
+	} else {
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+}
+
+// SetHistograms registers every histogram in hs (a convenience for
+// profiling collectors that expose several at once).
+func (r *Registry) SetHistograms(hs map[string]*Histogram) {
+	for name, h := range hs {
+		r.SetHistogram(name, h)
+	}
+}
+
 type registrySnapshot struct {
 	counters map[string]int64
 	progress *Progress
 	tracer   *Tracer
 	sources  map[string]map[string]int64
+	hists    map[string]HistogramSnapshot
 }
 
 func (r *Registry) snapshot() registrySnapshot {
@@ -118,6 +148,10 @@ func (r *Registry) snapshot() registrySnapshot {
 	for k, v := range r.sources {
 		fns[k] = v
 	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
 	r.mu.Unlock()
 
 	snap := registrySnapshot{progress: prog, tracer: tracer}
@@ -126,6 +160,12 @@ func (r *Registry) snapshot() registrySnapshot {
 		snap.sources = make(map[string]map[string]int64, len(fns))
 		for name, fn := range fns {
 			snap.sources[name] = fn()
+		}
+	}
+	if len(hists) > 0 {
+		snap.hists = make(map[string]HistogramSnapshot, len(hists))
+		for name, h := range hists {
+			snap.hists[name] = h.Snapshot()
 		}
 	}
 	return snap
@@ -148,6 +188,9 @@ func (r *Registry) MetricsJSON() ([]byte, error) {
 	if snap.sources != nil {
 		doc["sources"] = snap.sources
 	}
+	if snap.hists != nil {
+		doc["histograms"] = snap.hists
+	}
 	return json.MarshalIndent(doc, "", "  ")
 }
 
@@ -169,6 +212,15 @@ func (r *Registry) PrometheusText() string {
 	for _, k := range keys {
 		name := "ceci_" + k + "_total"
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, snap.counters[k])
+	}
+
+	histNames := make([]string, 0, len(snap.hists))
+	for name := range snap.hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		writePromHistogram(&b, "ceci_"+name, snap.hists[name])
 	}
 
 	if p := snap.progress; p != nil {
@@ -220,6 +272,24 @@ func (r *Registry) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, rg[k])
 	}
 	return b.String()
+}
+
+// writePromHistogram renders one histogram in the text exposition
+// format: cumulative _bucket series with le labels (ending at +Inf),
+// then _sum and _count.
+func writePromHistogram(b *strings.Builder, name string, s HistogramSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promLabel(bound), cum)
+	}
+	if n := len(s.Counts); n > 0 {
+		cum += s.Counts[n-1]
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
 }
 
 func runtimeGauges() map[string]int64 {

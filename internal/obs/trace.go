@@ -234,21 +234,44 @@ func (s *Span) snapshotLocked(t *Tracer, now time.Time) *SpanNode {
 }
 
 // PhaseDurations aggregates span durations by name across the whole
-// tree — the flat view stats.PhaseTrace used to provide, derived from
+// forest — the flat view stats.PhaseTrace used to provide, derived from
 // the richer hierarchy.
+//
+// Semantics (locked in by TestPhaseDurationsSemantics):
+//
+//   - every recorded span contributes its full duration to the entry of
+//     its name; repeated same-name spans (refine rounds, per-cluster
+//     children) sum deterministically, including nested same-name spans
+//     — the map is a flat by-name total, not a tree rollup;
+//   - still-open spans contribute their elapsed-so-far, measured at one
+//     instant captured once for the entire aggregation, so concurrent
+//     open spans are mutually consistent;
+//   - durations keep full time.Time resolution (no microsecond
+//     truncation — earlier versions derived this map from Tree(), whose
+//     µs-granular snapshot made repeated aggregations of the same
+//     closed trace disagree below 1µs);
+//   - detached spans (beyond the MaxChildren cap) are excluded, exactly
+//     as they are from Tree().
 func (t *Tracer) PhaseDurations() map[string]time.Duration {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
 	out := make(map[string]time.Duration)
-	var walk func(n *SpanNode)
-	walk = func(n *SpanNode) {
-		out[n.Name] += time.Duration(n.DurUS) * time.Microsecond
-		for _, c := range n.Children {
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s.ended {
+			out[s.name] += s.end.Sub(s.start)
+		} else {
+			out[s.name] += now.Sub(s.start)
+		}
+		for _, c := range s.children {
 			walk(c)
 		}
 	}
-	for _, r := range t.Tree() {
+	for _, r := range t.roots {
 		walk(r)
 	}
 	return out

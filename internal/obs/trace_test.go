@@ -175,6 +175,65 @@ func TestPhaseDurations(t *testing.T) {
 	}
 }
 
+// TestPhaseDurationsSemantics documents the chosen PhaseDurations
+// contract:
+//
+//  1. repeated same-name spans — siblings or nested — sum into one
+//     entry (flat by-name total, not a tree rollup);
+//  2. still-open spans contribute their elapsed-so-far, so the map is
+//     usable mid-run, and the same open spans also appear in Tree()
+//     snapshots with Running=true and a positive duration;
+//  3. aggregating a fully-closed trace is deterministic: repeated calls
+//     return identical durations at full time resolution.
+func TestPhaseDurationsSemantics(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+
+	// Nested same-name spans: an "enumerate" containing an "enumerate".
+	outer := tr.Start("enumerate")
+	inner := outer.Child("enumerate")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+
+	// A still-open span.
+	open := tr.Start("build")
+	time.Sleep(time.Millisecond)
+
+	d := tr.PhaseDurations()
+	// (1) flat by-name total: outer and inner both count, so the entry
+	// is at least twice the inner sleep.
+	if d["enumerate"] < 4*time.Millisecond {
+		t.Fatalf("nested same-name spans not summed: enumerate = %v, want >= 4ms", d["enumerate"])
+	}
+	// (2) the open span contributes elapsed time...
+	if d["build"] <= 0 {
+		t.Fatalf("open span missing from PhaseDurations: %v", d)
+	}
+	// ...and shows up in Tree() as running with positive elapsed time.
+	var node *SpanNode
+	for _, r := range tr.Tree() {
+		if r.Name == "build" {
+			node = r
+		}
+	}
+	if node == nil || !node.Running || node.DurUS <= 0 {
+		t.Fatalf("open span in Tree() = %+v, want Running with DurUS > 0", node)
+	}
+	open.End()
+
+	// (3) determinism on a closed trace: two aggregations agree exactly.
+	d1 := tr.PhaseDurations()
+	d2 := tr.PhaseDurations()
+	if len(d1) != len(d2) {
+		t.Fatalf("aggregations differ: %v vs %v", d1, d2)
+	}
+	for name, v := range d1 {
+		if d2[name] != v {
+			t.Fatalf("non-deterministic aggregation for %s: %v vs %v", name, v, d2[name])
+		}
+	}
+}
+
 func TestTracerString(t *testing.T) {
 	tr := NewTracer(TracerOptions{})
 	s := tr.Start("build", Int("pivots", 12))

@@ -1,0 +1,243 @@
+// Package prof is the EXPLAIN ANALYZE layer: a concurrency-safe
+// Collector that the index builder (internal/ceci), the enumerator
+// (internal/enum), and the distributed runtime (internal/cluster) feed
+// while executing a query with profiling enabled, and an immutable
+// Profile snapshot that exposes what the paper's evaluation measures but
+// the code never surfaced — per-query-vertex filter funnels (label /
+// degree / NLC forward pass, reverse-BFS refinement, cascade deletion;
+// Algorithms 1–2), TE/NTE entry counts and bytes, per-NTE set-
+// intersection comparisons versus output size (Section 4.1, Lemma 2),
+// the cluster-cardinality distribution that drives ST/CGD/FGD balancing
+// (Section 4.3, Algorithm 3), and per-worker busy/steal/idle time.
+//
+// A nil *Collector turns every method into a no-op, and every hot-path
+// call site guards with a single nil check, so profiling disabled costs
+// one predictable branch.
+package prof
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceci/internal/obs"
+)
+
+// Collector accumulates one profiled execution. Create with New, attach
+// to the build and enumeration options, then Snapshot after the run.
+// All recording methods are safe for concurrent use from any number of
+// build or enumeration workers.
+type Collector struct {
+	initialized atomic.Bool
+
+	mu       sync.Mutex
+	vertices []VertexCounters
+	workers  []workerSlot
+
+	strategy   string
+	pivotCards []int64
+	unitCards  []int64
+	enumWallNS atomic.Int64
+
+	unitSeconds *obs.Histogram
+	clusterCard *obs.Histogram
+	enumOutput  *obs.Histogram
+}
+
+// New returns an empty collector with the default histogram buckets.
+func New() *Collector {
+	return &Collector{
+		unitSeconds: obs.NewHistogram(obs.LatencyBuckets()),
+		clusterCard: obs.NewHistogram(obs.SizeBuckets()),
+		enumOutput:  obs.NewHistogram(obs.SizeBuckets()),
+	}
+}
+
+// Histograms exposes the collector's histograms for registration on an
+// obs.Registry (rendered as ceci_profile_* series).
+func (c *Collector) Histograms() map[string]*obs.Histogram {
+	if c == nil {
+		return nil
+	}
+	return map[string]*obs.Histogram{
+		"profile_unit_seconds":        c.unitSeconds,
+		"profile_cluster_cardinality": c.clusterCard,
+		"profile_enum_candidates":     c.enumOutput,
+	}
+}
+
+// VertexCounters holds one query vertex's live counters. Fields are
+// atomics so build workers (which partition the frontier) and
+// enumeration workers (which share the index) can update without locks.
+type VertexCounters struct {
+	// Forward BFS filter funnel (Algorithm 1): every data-graph
+	// neighbor scanned while expanding frontiers toward this vertex,
+	// and how many each filter stage dropped.
+	NeighborsScanned atomic.Int64
+	DroppedLabel     atomic.Int64
+	DroppedDegree    atomic.Int64
+	DroppedNLC       atomic.Int64
+
+	// Backward pruning: refined counts the candidates deleted because
+	// reverse-BFS refinement proved their cardinality zero (Algorithm
+	// 2); removed counts every candidate deletion of this vertex, so
+	// cascade deletions = removed - refined.
+	refined atomic.Int64
+	removed atomic.Int64
+
+	// Index shape, accumulated when each build completes (the
+	// incremental mode builds one cluster at a time; totals sum).
+	FinalCands   atomic.Int64
+	TEEntries    atomic.Int64
+	TECandidates atomic.Int64
+	nte          []NTECounters
+
+	// Enumeration-time intersection cost (Section 4.1): lookups is the
+	// number of CandidatesFor calls, comparisons the summed lengths of
+	// the intersected lists (the work a merge-based intersection
+	// performs), output the summed result sizes.
+	EnumLookups       atomic.Int64
+	EnumIntersections atomic.Int64
+	EnumComparisons   atomic.Int64
+	EnumOutput        atomic.Int64
+}
+
+// NTECounters profiles one incoming non-tree edge of a query vertex.
+type NTECounters struct {
+	Parent int // query vertex the non-tree edge arrives from
+
+	// Build-time cost of filling this NTE_Candidates structure: the
+	// summed lengths of the intersected adjacency/candidate lists
+	// versus what survived.
+	BuildComparisons atomic.Int64
+	BuildOutput      atomic.Int64
+
+	Entries    atomic.Int64
+	Candidates atomic.Int64
+}
+
+type workerSlot struct {
+	busyNS atomic.Int64
+	units  atomic.Int64
+	steals atomic.Int64
+}
+
+// InitQuery sizes the per-vertex state for a query of n vertices whose
+// non-tree-edge parents are given by nteParents (indexed by query
+// vertex). Idempotent: only the first call takes effect, so the
+// incremental mode's per-cluster builds can all pass the same tree.
+func (c *Collector) InitQuery(n int, nteParents func(u int) []int) {
+	if c == nil || c.initialized.Load() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.initialized.Load() {
+		return
+	}
+	c.vertices = make([]VertexCounters, n)
+	for u := 0; u < n; u++ {
+		parents := nteParents(u)
+		c.vertices[u].nte = make([]NTECounters, len(parents))
+		for j, p := range parents {
+			c.vertices[u].nte[j].Parent = p
+		}
+	}
+	c.initialized.Store(true)
+}
+
+// Vertex returns query vertex u's counters. Callers must have observed
+// a completed InitQuery (the builder calls it before spawning workers)
+// and must guard the collector itself against nil.
+func (c *Collector) Vertex(u int) *VertexCounters { return &c.vertices[u] }
+
+// NTE returns the counters of v's j-th incoming non-tree edge.
+func (v *VertexCounters) NTE(j int) *NTECounters { return &v.nte[j] }
+
+// AddRefined counts candidates of this vertex deleted by refinement.
+func (v *VertexCounters) AddRefined(n int64) { v.refined.Add(n) }
+
+// AddRemoved counts any candidate deletion of this vertex (refinement,
+// cascade, or dead-frontier removal).
+func (v *VertexCounters) AddRemoved(n int64) { v.removed.Add(n) }
+
+// RecordClusters registers the scheduling outcome of one enumeration:
+// the per-pivot refined cardinalities and the per-unit cardinalities
+// after (possible) ExtremeCluster decomposition. Accumulates across
+// calls so the distributed mode can record per machine.
+func (c *Collector) RecordClusters(strategy string, pivotCards, unitCards []int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.strategy = strategy
+	c.pivotCards = append(c.pivotCards, pivotCards...)
+	c.unitCards = append(c.unitCards, unitCards...)
+	c.mu.Unlock()
+	for _, card := range pivotCards {
+		c.clusterCard.ObserveInt(card)
+	}
+}
+
+// EnsureWorkers grows the per-worker slot table to at least n entries.
+func (c *Collector) EnsureWorkers(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for len(c.workers) < n {
+		c.workers = append(c.workers, workerSlot{})
+	}
+	c.mu.Unlock()
+}
+
+// WorkerUnit charges one completed work unit to worker id: its wall
+// duration and (implicitly) one unit. Requires a prior EnsureWorkers.
+func (c *Collector) WorkerUnit(id int, d time.Duration) {
+	if c == nil || id < 0 || id >= len(c.workers) {
+		return
+	}
+	w := &c.workers[id]
+	w.busyNS.Add(int64(d))
+	w.units.Add(1)
+	c.unitSeconds.ObserveDuration(d)
+}
+
+// RecordWorker charges busy time, unit count, and steal count to worker
+// id in one call. The distributed mode uses this — it accounts per
+// machine from the cost ledger at machine exit instead of per unit.
+func (c *Collector) RecordWorker(id int, busy time.Duration, units, steals int64) {
+	if c == nil || id < 0 || id >= len(c.workers) {
+		return
+	}
+	w := &c.workers[id]
+	w.busyNS.Add(int64(busy))
+	w.units.Add(units)
+	w.steals.Add(steals)
+}
+
+// WorkerSteals charges n work-steal transfers to worker id.
+func (c *Collector) WorkerSteals(id int, n int64) {
+	if c == nil || id < 0 || id >= len(c.workers) {
+		return
+	}
+	c.workers[id].steals.Add(n)
+}
+
+// ObserveEnumOutput feeds the candidate-list-size histogram with one
+// intersection result size.
+func (c *Collector) ObserveEnumOutput(n int) {
+	if c == nil {
+		return
+	}
+	c.enumOutput.ObserveInt(int64(n))
+}
+
+// AddEnumWall records the enumeration's wall-clock time (the basis of
+// the per-worker idle computation). Accumulates across phases.
+func (c *Collector) AddEnumWall(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.enumWallNS.Add(int64(d))
+}

@@ -37,6 +37,8 @@ type Counters struct {
 	MessagesSent      atomic.Int64
 	BytesOnWire       atomic.Int64
 	RemoteReads       atomic.Int64 // shared-storage graph accesses
+	UnitsScheduled    atomic.Int64 // work units handed to enumeration workers
+	ExtremeSplits     atomic.Int64 // extra units from ExtremeCluster decomposition (Alg. 3)
 }
 
 // AddRecursive increments the recursive-call counter.

@@ -34,6 +34,14 @@ func TestCountersSnapshot(t *testing.T) {
 	if snap["page_loads"] != 0 {
 		t.Fatal("untouched counter nonzero")
 	}
+	// The scheduling counters added for the profiler surface under the
+	// expected snake_case keys.
+	c.UnitsScheduled.Add(7)
+	c.ExtremeSplits.Add(2)
+	snap = c.Snapshot()
+	if snap["units_scheduled"] != 7 || snap["extreme_splits"] != 2 {
+		t.Fatalf("scheduling counters missing: %v", snap)
+	}
 }
 
 // TestSnapshotCoversEveryCounter walks Counters by reflection, bumps each
