@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare vet fmt ci verify fuzz experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare bench-allocs vet fmt ci verify fuzz experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ bench-compare:
 	$(GO) run ./cmd/cecibench -json-out $(BENCH_DIR) -bench-name $(BENCH_NAME) \
 		-compare cmd/cecibench/testdata/BENCH_baseline.json -threshold $(BENCH_THRESHOLD)
 
+# Allocation profile of the enumeration hot path: the strict
+# AllocsPerRun proof (zero allocations per steady-state step) plus the
+# -benchmem view of the Fig-7/8/19 suites. allocs/op on the enumeration
+# benchmarks is the number to watch.
+bench-allocs:
+	$(GO) test -run TestEnumerationStepZeroAlloc -v ./internal/enum
+	$(GO) test -bench 'Fig7|Fig8|Fig19' -benchmem -benchtime 3x ./cmd/cecibench
+
 vet:
 	$(GO) vet ./...
 
@@ -58,7 +66,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/verify
+	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/verify
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

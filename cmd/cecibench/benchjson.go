@@ -62,6 +62,14 @@ type CaseResult struct {
 	RecursiveCalls  int64 `json:"recursive_calls"`
 	IntersectionOps int64 `json:"intersection_ops"`
 
+	// Allocation metrics for the enumeration phase (heap allocations and
+	// bytes per full enumeration, minimum over reps — the minimum is the
+	// least contaminated by background goroutines and GC bookkeeping).
+	// Gated in -compare: the enumeration hot path is designed to be
+	// allocation-free, so growth here is a structural regression.
+	EnumAllocsPerOp int64 `json:"enum_allocs_per_op"`
+	EnumBytesPerOp  int64 `json:"enum_bytes_per_op"`
+
 	// Memory: max heap-in-use observed after each rep. Reported in
 	// comparisons but never gated (GC timing makes it noisy).
 	PeakHeapBytes int64 `json:"peak_heap_bytes"`
@@ -175,9 +183,20 @@ func measureSuite(name string, workers int) (*BenchResult, error) {
 				return nil, fmt.Errorf("%s/%s: %w", c.dataset, c.query, err)
 			}
 			builds = append(builds, time.Since(buildStart))
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			enumStart := time.Now()
 			n := m.Count()
 			enums = append(enums, time.Since(enumStart))
+			runtime.ReadMemStats(&ms1)
+			allocs := int64(ms1.Mallocs - ms0.Mallocs)
+			bytes := int64(ms1.TotalAlloc - ms0.TotalAlloc)
+			if rep == 0 || allocs < cr.EnumAllocsPerOp {
+				cr.EnumAllocsPerOp = allocs
+			}
+			if rep == 0 || bytes < cr.EnumBytesPerOp {
+				cr.EnumBytesPerOp = bytes
+			}
 
 			snap := st.Snapshot()
 			cr.Embeddings = n
@@ -270,6 +289,10 @@ func compareBench(w io.Writer, base, cur *BenchResult, threshold float64) int {
 		row("index_bytes", float64(b.IndexBytes), float64(c.IndexBytes), exceeds(c.IndexBytes, b.IndexBytes, threshold))
 		row("recursive_calls", float64(b.RecursiveCalls), float64(c.RecursiveCalls), exceeds(c.RecursiveCalls, b.RecursiveCalls, threshold))
 		row("intersection_ops", float64(b.IntersectionOps), float64(c.IntersectionOps), exceeds(c.IntersectionOps, b.IntersectionOps, threshold))
+		// Allocation metrics: exceeds() skips gating when the baseline
+		// predates them (zero value).
+		row("enum_allocs_per_op", float64(b.EnumAllocsPerOp), float64(c.EnumAllocsPerOp), exceeds(c.EnumAllocsPerOp, b.EnumAllocsPerOp, threshold))
+		row("enum_bytes_per_op", float64(b.EnumBytesPerOp), float64(c.EnumBytesPerOp), exceeds(c.EnumBytesPerOp, b.EnumBytesPerOp, threshold))
 		row("peak_heap_bytes", float64(b.PeakHeapBytes), float64(c.PeakHeapBytes), false)
 	}
 	for k := range baseCases {

@@ -1,0 +1,25 @@
+// Package bitset provides a minimal word-packed bitmap keyed by dense
+// uint32 IDs. The enumeration workers use it for the injectivity check
+// ("is this data vertex already matched?"): one bit per data vertex is
+// 8× smaller than the []bool it replaces, which matters because every
+// worker carries its own O(|V_data|) map for the lifetime of a search.
+package bitset
+
+// Bits is a fixed-size bitmap. The zero value is an empty bitmap of
+// capacity 0; use New to size one.
+type Bits []uint64
+
+// New returns a bitmap able to hold ids in [0, n).
+func New(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Len returns the id capacity (a multiple of 64).
+func (b Bits) Len() int { return len(b) * 64 }
+
+// Get reports whether id is set.
+func (b Bits) Get(id uint32) bool { return b[id>>6]&(1<<(id&63)) != 0 }
+
+// Set marks id.
+func (b Bits) Set(id uint32) { b[id>>6] |= 1 << (id & 63) }
+
+// Clear unmarks id.
+func (b Bits) Clear(id uint32) { b[id>>6] &^= 1 << (id & 63) }

@@ -1,0 +1,45 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsAgainstBoolSlice(t *testing.T) {
+	const n = 1000
+	b := New(n)
+	ref := make([]bool, n)
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 10000; step++ {
+		id := uint32(rng.Intn(n))
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(id)
+			ref[id] = true
+		case 1:
+			b.Clear(id)
+			ref[id] = false
+		default:
+			if b.Get(id) != ref[id] {
+				t.Fatalf("step %d: Get(%d) = %v, want %v", step, id, b.Get(id), ref[id])
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if b.Get(uint32(id)) != ref[id] {
+			t.Fatalf("final: Get(%d) = %v, want %v", id, b.Get(uint32(id)), ref[id])
+		}
+	}
+}
+
+func TestBitsSizing(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		b := New(n)
+		if b.Len() < n {
+			t.Fatalf("New(%d).Len() = %d", n, b.Len())
+		}
+		if n > 0 {
+			b.Set(uint32(n - 1)) // must not panic
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package ceci
+
+import "ceci/internal/graph"
+
+// arenaChunk is the number of vertex IDs allocated per arena chunk
+// (32 KiB). Large enough that per-frontier-vertex value lists amortize to
+// a handful of allocations per expansion, small enough not to waste
+// memory on tiny clusters (the incremental mode builds one index per
+// pivot).
+const arenaChunk = 8192
+
+// valueArena hands out vertex slices carved from large chunks. Slices
+// are append-only from the arena's point of view: once carved, a slice's
+// capacity is clamped to its own range, so later carves can never write
+// into it (callers may still shrink it in place, which cascade deletion
+// does). Chunks that fill up are simply dropped — the carved slices keep
+// their backing memory alive, and everything is released wholesale when
+// Freeze compacts the index and drops the build scratch.
+type valueArena struct {
+	cur []graph.VertexID
+}
+
+// copyIn copies vs into the arena and returns the arena-backed copy.
+func (a *valueArena) copyIn(vs []graph.VertexID) []graph.VertexID {
+	if len(vs) == 0 {
+		return nil
+	}
+	if cap(a.cur)-len(a.cur) < len(vs) {
+		size := arenaChunk
+		if size < len(vs) {
+			size = len(vs)
+		}
+		a.cur = make([]graph.VertexID, 0, size)
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, vs...)
+	end := len(a.cur)
+	return a.cur[start:end:end]
+}
+
+// buildScratch is one worker's private bin during frontier expansion
+// (§3.6): filters and intersections write into buf, survivors are
+// compacted into the worker's arena. Workers touch only their own
+// scratch, so expansion needs no synchronization beyond the work cursor.
+type buildScratch struct {
+	buf   []graph.VertexID
+	arena valueArena
+}
+
+// scratches lazily sizes the per-worker scratch pool to the build's
+// worker budget, reusing buffers across every buildTE/buildNTE call.
+func (ix *Index) scratches() []buildScratch {
+	if ix.scratch == nil {
+		ix.scratch = make([]buildScratch, ix.workers())
+	}
+	return ix.scratch
+}
+
+// valueSlots returns the reusable n-wide frontier output table. Entries
+// written by a previous expansion are dead by then — AppendKey copied the
+// slice headers into the CandMap — so plain reuse is safe.
+func (ix *Index) valueSlots(n int) [][]graph.VertexID {
+	if cap(ix.valbuf) < n {
+		ix.valbuf = make([][]graph.VertexID, n)
+	}
+	ix.valbuf = ix.valbuf[:n]
+	return ix.valbuf
+}

@@ -2,6 +2,7 @@ package ceci
 
 import (
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,13 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 	if opts.Pivots != nil {
 		pivots := make([]graph.VertexID, len(opts.Pivots))
 		copy(pivots, opts.Pivots)
+		// Candidate sets are sorted everywhere else (binary searches,
+		// set operations, AppendKey's append fast path); sorting and
+		// deduplicating here keeps an unsorted caller from silently
+		// degrading AppendKey into its O(n) middle-insert path — or
+		// worse, breaking the removeCandidate binary search.
+		slices.Sort(pivots)
+		pivots = slices.Compact(pivots)
 		ix.Nodes[root].Cands = pivots
 	} else {
 		var pivots []graph.VertexID
@@ -76,6 +84,11 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 			rsp.End()
 		}
 	}
+	if !opts.skipFreeze {
+		// Compact the mutable build-time structures into the flat
+		// arena-backed steady-state form (and release the build scratch).
+		ix.Freeze()
+	}
 	if opts.Stats != nil {
 		opts.Stats.IndexBytes.Store(ix.SizeBytes())
 	}
@@ -96,6 +109,7 @@ func (ix *Index) recordShape(p *prof.Collector) {
 		vc.FinalCands.Add(int64(len(node.Cands)))
 		vc.TEEntries.Add(int64(node.TE.Len()))
 		vc.TECandidates.Add(node.TE.CandidateEdges())
+		vc.FlatBytes.Add(node.flatBytes())
 		for j := range node.NTE {
 			nc := vc.NTE(j)
 			nc.Entries.Add(int64(node.NTE[j].Len()))
@@ -122,18 +136,19 @@ func (ix *Index) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// parallelFor runs fn(i) for i in [0, n) across the index's worker
+// parallelFor runs fn(i, w) for i in [0, n) across the index's worker
 // budget, pulling fixed-size chunks from a shared cursor — the paper's
-// pull-based dynamic distribution with per-thread private bins (§3.6):
-// workers write only to their own output slots.
-func (ix *Index) parallelFor(n int, fn func(i int)) {
+// pull-based dynamic distribution with per-thread private bins (§3.6).
+// w identifies the executing worker so fn can use pooled per-worker
+// scratch; beyond that, workers write only to their own output slots.
+func (ix *Index) parallelFor(n int, fn func(i, w int)) {
 	workers := ix.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n < 64 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -142,7 +157,7 @@ func (ix *Index) parallelFor(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				lo := int(atomic.AddInt64(&cursor, chunk)) - chunk
@@ -154,10 +169,10 @@ func (ix *Index) parallelFor(n int, fn func(i int)) {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					fn(i)
+					fn(i, w)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -170,9 +185,12 @@ func (ix *Index) buildTE(u graph.VertexID) {
 	up := graph.VertexID(tree.Parent[u])
 	frontier := ix.Nodes[up].Cands
 
-	values := make([][]graph.VertexID, len(frontier))
-	ix.parallelFor(len(frontier), func(i int) {
-		values[i] = ix.filterNeighbors(frontier[i], u)
+	values := ix.valueSlots(len(frontier))
+	scratch := ix.scratches()
+	ix.parallelFor(len(frontier), func(i, w int) {
+		sc := &scratch[w]
+		sc.buf = ix.filterNeighborsInto(sc.buf[:0], frontier[i], u)
+		values[i] = sc.arena.copyIn(sc.buf)
 	})
 
 	node := &ix.Nodes[u]
@@ -204,9 +222,12 @@ func (ix *Index) buildNTE(u graph.VertexID) {
 	node := &ix.Nodes[u]
 	for j, un := range tree.NTEParents[u] {
 		frontier := ix.Nodes[un].Cands
-		values := make([][]graph.VertexID, len(frontier))
-		ix.parallelFor(len(frontier), func(i int) {
-			values[i] = setops.Intersect(nil, ix.Data.Neighbors(frontier[i]), node.Cands)
+		values := ix.valueSlots(len(frontier))
+		scratch := ix.scratches()
+		ix.parallelFor(len(frontier), func(i, w int) {
+			sc := &scratch[w]
+			sc.buf = setops.Intersect(sc.buf[:0], ix.Data.Neighbors(frontier[i]), node.Cands)
+			values[i] = sc.arena.copyIn(sc.buf)
 		})
 		if ix.opts.Stats != nil {
 			ix.opts.Stats.IntersectionOps.Add(int64(len(frontier)))
@@ -232,9 +253,12 @@ func (ix *Index) buildNTE(u graph.VertexID) {
 	}
 }
 
-// filterNeighbors applies the label, degree, and NLC filters (Section
-// 3.2) to the neighbors of vf, returning survivors sorted ascending.
-func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.VertexID {
+// filterNeighborsInto applies the label, degree, and NLC filters
+// (Section 3.2) to the neighbors of vf, appending survivors to dst
+// (sorted ascending, since adjacency lists are sorted). dst is a
+// worker-private scratch buffer; callers copy the survivors into an
+// arena before the buffer is reused.
+func (ix *Index) filterNeighborsInto(dst []graph.VertexID, vf graph.VertexID, u graph.VertexID) []graph.VertexID {
 	q := ix.Tree.Query
 	data := ix.Data
 	qLabels := q.Labels(u)
@@ -249,7 +273,7 @@ func (ix *Index) filterNeighbors(vf graph.VertexID, u graph.VertexID) []graph.Ve
 	// frontier vertex, nothing on the per-neighbor path.
 	var dropLabel, dropDegree, dropNLC int64
 	neighbors := data.Neighbors(vf)
-	var out []graph.VertexID
+	out := dst
 	for _, v := range neighbors {
 		// Label filter.
 		okLabel := true

@@ -33,7 +33,71 @@ type Node struct {
 	// Card maps candidate -> cardinality (Section 3.3): the maximum
 	// number of embeddings obtainable by matching this candidate here.
 	// Populated by Refine; zero-cardinality candidates are deleted.
+	// Build-time only: Freeze compacts it into cardVals and nils it.
 	Card map[graph.VertexID]int64
+	// cardVals is the frozen cardinality column, parallel to Cands.
+	cardVals []int64
+}
+
+// CardOf returns the refined cardinality of candidate v at this node
+// (0 when v is not a candidate). Works in both the mutable and the
+// frozen representation.
+func (n *Node) CardOf(v graph.VertexID) int64 {
+	if n.cardVals != nil {
+		cands := n.Cands
+		lo, hi := 0, len(cands)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cands[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(cands) && cands[lo] == v {
+			return n.cardVals[lo]
+		}
+		return 0
+	}
+	return n.Card[v]
+}
+
+// freeze compacts the node's build-time structures: TE and every NTE map
+// share one arena sized to the node's candidate-edge total, and the Card
+// map collapses into a cardinality column parallel to Cands. Nodes whose
+// arena would overflow the 32-bit offsets stay mutable — every accessor
+// handles both modes, so this is a (purely theoretical, >4G candidate
+// edges per query vertex) graceful degradation, not an error.
+func (n *Node) freeze() {
+	total := n.TE.CandidateEdges()
+	for j := range n.NTE {
+		total += n.NTE[j].CandidateEdges()
+	}
+	if total <= math.MaxUint32 {
+		arena := make([]graph.VertexID, 0, total)
+		arena = n.TE.freezeInto(arena)
+		for j := range n.NTE {
+			arena = n.NTE[j].freezeInto(arena)
+		}
+	}
+	if n.cardVals == nil {
+		n.cardVals = make([]int64, len(n.Cands))
+		for i, v := range n.Cands {
+			n.cardVals[i] = n.Card[v]
+		}
+		n.Card = nil
+	}
+}
+
+// flatBytes is the node's physical frozen footprint: candidate and
+// cardinality columns plus the flat TE/NTE structures.
+func (n *Node) flatBytes() int64 {
+	b := int64(len(n.Cands))*4 + int64(len(n.cardVals))*8
+	b += n.TE.flatBytes()
+	for j := range n.NTE {
+		b += n.NTE[j].flatBytes()
+	}
+	return b
 }
 
 // Index is the CECI for one (data, query) pair.
@@ -46,8 +110,37 @@ type Index struct {
 	// pairs such that Nodes[child].NTE[slot] is keyed by u's candidates.
 	nteChildIdx [][]nteRef
 
+	// frozen is set once Freeze has compacted the build-time structures
+	// into the flat arena-backed form.
+	frozen bool
+	// scratch holds the per-worker build buffers (private bins, §3.6);
+	// released by Freeze.
+	scratch []buildScratch
+	// valbuf is the reusable frontier-expansion output table.
+	valbuf [][]graph.VertexID
+
 	opts Options
 }
+
+// Freeze compacts the mutable build-time structures into the flat
+// arena-backed representation used by the steady state — CandidatesFor,
+// VerifyNTE, cardinality lookups, FGD decomposition, and serialization
+// all read the frozen form. Build calls it automatically after
+// refinement; it is idempotent. After Freeze the index is immutable.
+func (ix *Index) Freeze() {
+	if ix.frozen {
+		return
+	}
+	ix.frozen = true
+	ix.scratch = nil // release the pooled build buffers
+	ix.valbuf = nil
+	for u := range ix.Nodes {
+		ix.Nodes[u].freeze()
+	}
+}
+
+// Frozen reports whether Freeze has run.
+func (ix *Index) Frozen() bool { return ix.frozen }
 
 type nteRef struct {
 	child graph.VertexID
@@ -74,7 +167,8 @@ type Options struct {
 	// clusters instead of deriving pivots from the root's candidate
 	// filters. Used by the distributed runtime (Section 5), where each
 	// machine builds a CECI over its assigned pivot partition. Callers
-	// must pass vertices that satisfy the root filters, sorted ascending.
+	// must pass vertices that satisfy the root filters; the build sorts
+	// and deduplicates the list, so any order is accepted.
 	Pivots []graph.VertexID
 	// Stats receives instrumentation counters (may be nil). During the
 	// build, every adjacency-list fetch increments Stats.RemoteReads so
@@ -87,6 +181,11 @@ type Options struct {
 	// Tracer, when non-nil, records a "build" span with "expand" and
 	// per-round "refine" children.
 	Tracer *obs.Tracer
+
+	// skipFreeze leaves the index in the mutable build-time
+	// representation. Test-only: the mutable-vs-frozen equivalence
+	// property tests need both forms of the same build.
+	skipFreeze bool
 }
 
 // Pivots returns the cluster pivots: the surviving candidates of the root
@@ -96,10 +195,7 @@ func (ix *Index) Pivots() []graph.VertexID { return ix.Nodes[ix.Tree.Root].Cands
 // ClusterCardinality returns the refined cardinality of pivot's embedding
 // cluster — the upper bound on embeddings rooted at pivot (Section 4.3).
 func (ix *Index) ClusterCardinality(pivot graph.VertexID) int64 {
-	if c, ok := ix.Nodes[ix.Tree.Root].Card[pivot]; ok {
-		return c
-	}
-	return 0
+	return ix.Nodes[ix.Tree.Root].CardOf(pivot)
 }
 
 // TotalCardinality sums cluster cardinalities over all pivots.
@@ -175,9 +271,20 @@ func containsSorted(vs []graph.VertexID, x graph.VertexID) bool {
 // O(|Eq|·|Eg|) worst case, enabling Table 2's "% of space saved" column.
 func (ix *Index) SizeBytes() int64 { return 8 * ix.UniqueCandidateEdges() }
 
-// PhysicalBytes estimates the actual in-memory footprint: 4 bytes per
-// stored value plus 12 per key (key + slice header amortized).
+// PhysicalBytes reports the actual in-memory footprint. For a frozen
+// index this is exact: 4 bytes per key, 4 per offset, 4 per arena entry
+// (plus the candidate and cardinality columns) — the flat layout DESIGN.md
+// maps to the paper's Table 2 byte model. For a mutable index it is the
+// pre-freeze estimate of 4 bytes per stored value plus 12 per key (key +
+// slice header amortized).
 func (ix *Index) PhysicalBytes() int64 {
+	if ix.frozen {
+		var n int64
+		for u := range ix.Nodes {
+			n += ix.Nodes[u].flatBytes()
+		}
+		return n
+	}
 	var n int64
 	add := func(m *CandMap) {
 		n += int64(m.Len())*12 + m.CandidateEdges()*4

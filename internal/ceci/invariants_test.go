@@ -80,8 +80,8 @@ func checkInvariants(t *testing.T, ix *ceci.Index, tree *order.QueryTree, data *
 			checkMap(&node.NTE[j], ix.Nodes[un].Cands, "NTE")
 		}
 		for _, v := range node.Cands {
-			if node.Card[v] <= 0 {
-				t.Logf("u%d: surviving candidate %d has cardinality %d", u, v, node.Card[v])
+			if node.CardOf(v) <= 0 {
+				t.Logf("u%d: surviving candidate %d has cardinality %d", u, v, node.CardOf(v))
 				ok = false
 			}
 		}

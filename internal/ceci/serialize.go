@@ -74,7 +74,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		node := &ix.Nodes[u]
 		writeIDs(cw, node.Cands)
 		for _, v := range node.Cands {
-			writeUvarint(cw, uint64(node.Card[v]))
+			writeUvarint(cw, uint64(node.CardOf(v)))
 		}
 		writeCandMap(cw, &node.TE)
 		writeUvarint(cw, uint64(len(node.NTE)))
@@ -149,6 +149,9 @@ func ReadIndex(r io.Reader, data *graph.Graph, tree *order.QueryTree) (*Index, e
 			}
 		}
 	}
+	// A loaded index goes straight to the steady state: compact it into
+	// the flat arena-backed form the enumerator reads.
+	ix.Freeze()
 	return ix, nil
 }
 

@@ -1,0 +1,45 @@
+package ceci_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/gen"
+	"ceci/internal/order"
+)
+
+// TestSerializeLoadEnumerate proves the full frozen-index round trip:
+// build (which freezes), serialize, load (which re-freezes into the flat
+// arena form), and enumerate — the loaded index must report itself frozen
+// and produce exactly the embedding count of the original.
+func TestSerializeLoadEnumerate(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		data, query := gen.RandomPair(seed)
+		tree, err := order.Preprocess(data, query, order.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Preprocess: %v", seed, err)
+		}
+		ix := ceci.Build(data, tree, ceci.Options{})
+		if !ix.Frozen() {
+			t.Fatalf("seed %d: built index not frozen", seed)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatalf("seed %d: WriteTo: %v", seed, err)
+		}
+		got, err := ceci.ReadIndex(&buf, data, tree)
+		if err != nil {
+			t.Fatalf("seed %d: ReadIndex: %v", seed, err)
+		}
+		if !got.Frozen() {
+			t.Fatalf("seed %d: loaded index not frozen", seed)
+		}
+		want := enum.NewMatcher(ix, enum.Options{Workers: 2}).Count()
+		n := enum.NewMatcher(got, enum.Options{Workers: 2}).Count()
+		if n != want {
+			t.Fatalf("seed %d: loaded index enumerates %d embeddings, want %d", seed, n, want)
+		}
+	}
+}

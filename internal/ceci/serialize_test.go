@@ -52,8 +52,8 @@ func assertSameIndex(t *testing.T, a, b *ceci.Index, tree *order.QueryTree) {
 			t.Fatalf("node %d cands differ", u)
 		}
 		for _, v := range na.Cands {
-			if na.Card[v] != nb.Card[v] {
-				t.Fatalf("node %d card[%d] differs: %d vs %d", u, v, na.Card[v], nb.Card[v])
+			if na.CardOf(v) != nb.CardOf(v) {
+				t.Fatalf("node %d card[%d] differs: %d vs %d", u, v, na.CardOf(v), nb.CardOf(v))
 			}
 		}
 		na.TE.ForEach(func(key uint32, vals []uint32) {

@@ -1,0 +1,69 @@
+package enum
+
+import (
+	"testing"
+
+	"ceci/internal/ceci"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/workload"
+)
+
+// TestEnumerationStepZeroAlloc proves the steady-state enumeration step —
+// CandidatesFor against the frozen flat index, setops.IntersectK through
+// the per-depth scratch, the word-packed injectivity bitmap, and the
+// symmetry-breaking check — performs zero heap allocations once a
+// worker's buffers are warm. This is the contract the arena-backed index
+// exists to provide; any regression (a closure capture, a map lookup that
+// boxes, a scratch slice that stopped being reused) fails here before it
+// shows up in benchmarks.
+func TestEnumerationStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; run without -race")
+	}
+	cases := []struct {
+		name        string
+		data, query *graph.Graph
+	}{
+		{"fig1", gen.Fig1Data(), gen.Fig1Query()},
+		{"random-pair-7", nil, nil},
+	}
+	cases[1].data, cases[1].query = gen.RandomPair(7)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tree, err := order.Preprocess(tc.data, tc.query, order.Options{})
+			if err != nil {
+				t.Fatalf("Preprocess: %v", err)
+			}
+			ix := ceci.Build(tc.data, tree, ceci.Options{})
+			if !ix.Frozen() {
+				t.Fatal("Build did not freeze the index")
+			}
+			m := NewMatcher(ix, Options{Workers: 1, Strategy: workload.FGD})
+			units := m.units()
+			if len(units) == 0 {
+				t.Skip("no work units for this pair")
+			}
+			var count int64
+			ctl := &control{fn: func([]graph.VertexID) bool {
+				count++
+				return true
+			}}
+			s := newSearcher(m, ctl)
+			pass := func() {
+				for _, u := range units {
+					s.runUnit(u)
+				}
+			}
+			pass() // warm the per-depth intersection scratch
+			if count == 0 {
+				t.Skip("pair has no embeddings; nothing steady-state to measure")
+			}
+			if avg := testing.AllocsPerRun(20, pass); avg != 0 {
+				t.Errorf("enumeration pass allocates %.1f times, want 0", avg)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package enum
+
+// raceEnabled reports whether the race detector is active. Its
+// instrumentation adds runtime bookkeeping allocations, so the strict
+// zero-allocation assertions are skipped under -race.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package enum
 
 import (
+	"ceci/internal/bitset"
 	"ceci/internal/ceci"
 	"ceci/internal/graph"
 	"ceci/internal/workload"
@@ -15,7 +16,7 @@ type searcher struct {
 
 	emb     []graph.VertexID    // partial embedding, indexed by query vertex
 	matched []bool              // indexed by query vertex
-	used    []bool              // indexed by data vertex (injectivity bitmap)
+	used    bitset.Bits         // indexed by data vertex (injectivity bitmap)
 	scratch []ceci.MatchScratch // per-depth intersection buffers
 
 	// Cumulative counters for the searcher's lifetime; flush pushes the
@@ -46,7 +47,7 @@ func newSearcher(m *Matcher, ctl *control) *searcher {
 		tree:    queryShape{order: m.ix.Tree.Order, n: n},
 		emb:     make([]graph.VertexID, n),
 		matched: make([]bool, n),
-		used:    make([]bool, m.ix.Data.NumVertices()),
+		used:    bitset.New(m.ix.Data.NumVertices()),
 		scratch: make([]ceci.MatchScratch, n+1),
 	}
 }
@@ -60,13 +61,13 @@ func (s *searcher) runUnit(u workload.Unit) bool {
 		q := s.tree.order[i]
 		s.emb[q] = v
 		s.matched[q] = true
-		s.used[v] = true
+		s.used.Set(v)
 	}
 	ok := s.search(len(u.Prefix))
 	for i, v := range u.Prefix {
 		q := s.tree.order[i]
 		s.matched[q] = false
-		s.used[v] = false
+		s.used.Clear(v)
 	}
 	return ok
 }
@@ -95,7 +96,7 @@ func (s *searcher) search(depth int) bool {
 	}
 	cons := s.m.cons
 	for _, v := range cands {
-		if s.used[v] {
+		if s.used.Get(v) {
 			continue
 		}
 		if cons != nil && !cons.Allows(u, v, s.emb, s.matched) {
@@ -106,10 +107,10 @@ func (s *searcher) search(depth int) bool {
 		}
 		s.emb[u] = v
 		s.matched[u] = true
-		s.used[v] = true
+		s.used.Set(v)
 		ok := s.search(depth + 1)
 		s.matched[u] = false
-		s.used[v] = false
+		s.used.Clear(v)
 		if !ok {
 			return false
 		}

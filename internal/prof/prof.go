@@ -90,7 +90,11 @@ type VertexCounters struct {
 	FinalCands   atomic.Int64
 	TEEntries    atomic.Int64
 	TECandidates atomic.Int64
-	nte          []NTECounters
+	// FlatBytes is the physical footprint of the vertex's frozen flat
+	// structures — keys, offsets, arena, candidate and cardinality
+	// columns — as opposed to TEBytes' idealized Table-2 accounting.
+	FlatBytes atomic.Int64
+	nte       []NTECounters
 
 	// Enumeration-time intersection cost (Section 4.1): lookups is the
 	// number of CandidatesFor calls, comparisons the summed lengths of

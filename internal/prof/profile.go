@@ -43,6 +43,11 @@ type VertexProfile struct {
 	TEEntries    int64 `json:"te_entries"`
 	TECandidates int64 `json:"te_candidates"`
 	TEBytes      int64 `json:"te_bytes"`
+	// FlatBytes is the measured physical footprint of the frozen flat
+	// structures (keys + offsets + arena + candidate/cardinality
+	// columns); TEBytes/Bytes above are the paper's idealized
+	// 8-bytes-per-candidate-edge accounting.
+	FlatBytes int64 `json:"flat_bytes,omitempty"`
 
 	NTE []NTEProfile `json:"nte,omitempty"`
 
@@ -131,6 +136,7 @@ func (c *Collector) Snapshot() Profile {
 			FinalCands:       vc.FinalCands.Load(),
 			TEEntries:        vc.TEEntries.Load(),
 			TECandidates:     vc.TECandidates.Load(),
+			FlatBytes:        vc.FlatBytes.Load(),
 			Enum: EnumProfile{
 				Lookups:       vc.EnumLookups.Load(),
 				Intersections: vc.EnumIntersections.Load(),
@@ -264,6 +270,7 @@ func (p Profile) FunnelTotals() map[string]int64 {
 		out["dropped_refine"] += v.DroppedRefine
 		out["dropped_cascade"] += v.DroppedCascade
 		out["final_candidates"] += v.FinalCands
+		out["index_flat_bytes"] += v.FlatBytes
 		out["enum_comparisons"] += v.Enum.Comparisons
 		out["enum_output"] += v.Enum.Output
 	}

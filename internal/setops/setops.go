@@ -14,7 +14,10 @@
 // strictly increasing outputs.
 package setops
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // gallopRatio is the size disparity beyond which Intersect switches from
 // linear merge to galloping search. 16 follows the classic adaptive
@@ -198,7 +201,10 @@ func UnionMany(lists [][]uint32) []uint32 {
 	for _, l := range lists {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// slices.Sort specializes on the element type — unlike sort.Slice it
+	// allocates no closure and no reflect-based swapper, and pattern-
+	// defeating quicksort beats the interface-dispatch sort on uint32.
+	slices.Sort(all)
 	w := 0
 	for i, x := range all {
 		if i == 0 || x != all[i-1] {

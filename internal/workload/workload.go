@@ -6,8 +6,9 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"ceci/internal/auto"
@@ -56,12 +57,16 @@ type Unit struct {
 	Card   int64
 }
 
-// Clusters returns one depth-1 unit per pivot, in pivot order.
+// Clusters returns one depth-1 unit per pivot, in pivot order. All
+// prefixes share one backing array — one allocation instead of one per
+// pivot keeps scheduling off the enumeration allocation budget.
 func Clusters(ix *ceci.Index) []Unit {
 	pivots := ix.Pivots()
-	units := make([]Unit, 0, len(pivots))
-	for _, p := range pivots {
-		units = append(units, Unit{Prefix: []graph.VertexID{p}, Card: ix.ClusterCardinality(p)})
+	backing := make([]graph.VertexID, len(pivots))
+	copy(backing, pivots)
+	units := make([]Unit, len(pivots))
+	for i, p := range pivots {
+		units[i] = Unit{Prefix: backing[i : i+1 : i+1], Card: ix.ClusterCardinality(p)}
 	}
 	return units
 }
@@ -103,7 +108,7 @@ func Decompose(ix *ceci.Index, cons *auto.Constraints, beta float64, workers int
 		out = d.split(out, u.Prefix, float64(u.Card))
 	}
 	// Largest units first smooths worker finishing times (§4.3).
-	sort.Slice(out, func(i, j int) bool { return out[i].Card > out[j].Card })
+	slices.SortFunc(out, func(a, b Unit) int { return cmp.Compare(b.Card, a.Card) })
 	return out
 }
 
@@ -114,6 +119,31 @@ type decomposer struct {
 	m         []graph.VertexID
 	matched   []bool
 	scratch   ceci.MatchScratch
+
+	// prefixes is the arena backing every emitted sub-unit prefix: one
+	// growing allocation instead of one slice per unit. Growth may
+	// reallocate the backing array; already-carved prefixes keep pointing
+	// into the old one, which stays valid because prefixes are write-once.
+	prefixes []graph.VertexID
+	// cands is the per-depth candidate scratch: split recurses with
+	// depth+1, so each depth owns its slot and capacity is reused across
+	// the whole decomposition.
+	cands [][]cardCand
+}
+
+type cardCand struct {
+	v graph.VertexID
+	c int64
+}
+
+// carve appends prefix+v to the prefix arena and returns the carved,
+// capacity-clamped view.
+func (d *decomposer) carve(prefix []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	start := len(d.prefixes)
+	d.prefixes = append(d.prefixes, prefix...)
+	d.prefixes = append(d.prefixes, v)
+	end := len(d.prefixes)
+	return d.prefixes[start:end:end]
 }
 
 // split appends to out either the unit itself (small enough or fully
@@ -139,12 +169,13 @@ func (d *decomposer) split(out []Unit, prefix []graph.VertexID, work float64) []
 	matching := d.ix.CandidatesFor(uNext, d.m, &d.scratch)
 
 	// Filter to assignments the enumerator would actually make, and
-	// collect their cardinalities for proportional workload split.
-	type cand struct {
-		v graph.VertexID
-		c int64
+	// collect their cardinalities for proportional workload split. The
+	// candidate buffer is per-depth scratch: recursion below uses depth+1.
+	for len(d.cands) <= depth {
+		d.cands = append(d.cands, nil)
 	}
-	cands := make([]cand, 0, len(matching))
+	cands := d.cands[depth][:0]
+	node := &d.ix.Nodes[uNext]
 	var total int64
 	for _, v := range matching {
 		if d.used(prefix, v) {
@@ -153,13 +184,14 @@ func (d *decomposer) split(out []Unit, prefix []graph.VertexID, work float64) []
 		if d.cons != nil && !d.cons.Allows(uNext, v, d.m, d.matched) {
 			continue
 		}
-		c := d.ix.Nodes[uNext].Card[v]
+		c := node.CardOf(v)
 		if c <= 0 {
 			c = 1 // refinement disabled or stale: keep a floor
 		}
-		cands = append(cands, cand{v, c})
+		cands = append(cands, cardCand{v, c})
 		total += c
 	}
+	d.cands[depth] = cands
 	if len(cands) == 0 {
 		// The unit is a dead end; keep it so accounting stays simple —
 		// it costs one candidate lookup at run time.
@@ -167,9 +199,7 @@ func (d *decomposer) split(out []Unit, prefix []graph.VertexID, work float64) []
 	}
 	for _, c := range cands {
 		myWork := work * float64(c.c) / float64(total)
-		sub := make([]graph.VertexID, depth+1)
-		copy(sub, prefix)
-		sub[depth] = c.v
+		sub := d.carve(prefix, c.v)
 		if myWork <= d.threshold {
 			out = append(out, Unit{Prefix: sub, Card: int64(myWork + 0.5)})
 		} else {
