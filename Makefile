@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare bench-allocs vet fmt ci verify fuzz experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare bench-allocs vet fmt ci verify fuzz serve-smoke experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -66,7 +66,13 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/verify
+	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/verify ./internal/service ./cmd/ceciserve
+
+# Boot the query service on the Figure 1 fixture and exercise the HTTP
+# API end to end (also run raced by CI's service-smoke job).
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -v ./cmd/ceciserve
+	$(GO) test -race ./internal/service
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

@@ -33,6 +33,7 @@
 package ceci
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -212,6 +213,14 @@ type Matcher struct {
 // (disconnected patterns should be matched component by component and
 // joined by the caller).
 func Match(data, query *Graph, opts *Options) (*Matcher, error) {
+	return MatchCtx(context.Background(), data, query, opts)
+}
+
+// MatchCtx is Match under a context: the index construction observes
+// ctx's deadline/cancellation and aborts promptly (returning the
+// context's error) instead of running to completion. The returned
+// Matcher's ForEachCtx/CountCtx honor a context during enumeration.
+func MatchCtx(ctx context.Context, data, query *Graph, opts *Options) (*Matcher, error) {
 	if data == nil || query == nil {
 		return nil, fmt.Errorf("ceci: nil %s graph", map[bool]string{true: "data", false: "query"}[data == nil])
 	}
@@ -229,13 +238,16 @@ func Match(data, query *Graph, opts *Options) (*Matcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := icec.Build(data, tree, icec.Options{
+	ix, err := icec.BuildCtx(ctx, data, tree, icec.Options{
 		Workers:      o.Workers,
 		RefineRounds: o.RefineRounds,
 		Stats:        o.Stats,
 		Tracer:       o.Tracer,
 		Profile:      o.profile,
 	})
+	if err != nil {
+		return nil, err
+	}
 	m := enum.NewMatcher(ix, enum.Options{
 		Workers:                 o.Workers,
 		Limit:                   o.Limit,
@@ -264,10 +276,23 @@ func (o *Options) reporter() *obs.Reporter {
 // Options.Limit).
 func (m *Matcher) Count() int64 { return m.inner.Count() }
 
+// CountCtx counts embeddings under ctx. On deadline or cancellation it
+// returns the number of embeddings found so far alongside the context's
+// error — callers report the partial count.
+func (m *Matcher) CountCtx(ctx context.Context) (int64, error) { return m.inner.CountCtx(ctx) }
+
 // ForEach streams embeddings to fn. The slice is indexed by query vertex
 // ID and reused between calls — copy it to retain it. fn may be invoked
 // concurrently from multiple workers; return false to stop early.
 func (m *Matcher) ForEach(fn func(embedding []VertexID) bool) { m.inner.ForEach(fn) }
+
+// ForEachCtx is ForEach under a context: when ctx is cancelled or times
+// out, every enumeration worker stops at its next depth step and the
+// context's error is returned. Embeddings delivered before the cut are
+// not retracted.
+func (m *Matcher) ForEachCtx(ctx context.Context, fn func(embedding []VertexID) bool) error {
+	return m.inner.ForEachCtx(ctx, fn)
+}
 
 // Collect gathers embeddings into a slice. Intended for modest result
 // sets; use ForEach to stream large ones.
@@ -304,6 +329,10 @@ type IndexInfo struct {
 	CandidateEdges int64
 	// SizeBytes is 8 × CandidateEdges (the paper's accounting).
 	SizeBytes int64
+	// PhysicalBytes is the measured in-memory footprint of the frozen
+	// flat index (key, offset, arena, and cardinality columns) — the
+	// number cache byte budgets are charged against.
+	PhysicalBytes int64
 	// TheoreticalBytes is the worst case 8·|Eq|·|Eg|.
 	TheoreticalBytes int64
 	// TotalCardinality upper-bounds the number of embeddings.
@@ -316,6 +345,7 @@ func (m *Matcher) IndexInfo() IndexInfo {
 		Pivots:           len(m.index.Pivots()),
 		CandidateEdges:   m.index.CandidateEdges(),
 		SizeBytes:        m.index.SizeBytes(),
+		PhysicalBytes:    m.index.PhysicalBytes(),
 		TheoreticalBytes: m.index.TheoreticalBytes(),
 		TotalCardinality: m.index.TotalCardinality(),
 	}
@@ -349,6 +379,13 @@ func Count(data, query *Graph, opts *Options) (int64, error) {
 // Callback semantics match Matcher.ForEach. For exhaustive enumeration
 // prefer Match: the shared index amortizes across clusters.
 func ForEachIncremental(data, query *Graph, opts *Options, fn func(embedding []VertexID) bool) error {
+	return ForEachIncrementalCtx(context.Background(), data, query, opts, fn)
+}
+
+// ForEachIncrementalCtx is ForEachIncremental under a context: the
+// deadline/cancellation is honored between clusters, inside each
+// on-demand per-cluster build, and at enumeration depth steps.
+func ForEachIncrementalCtx(ctx context.Context, data, query *Graph, opts *Options, fn func(embedding []VertexID) bool) error {
 	if data == nil || query == nil {
 		return fmt.Errorf("ceci: nil graph")
 	}
@@ -366,7 +403,7 @@ func ForEachIncremental(data, query *Graph, opts *Options, fn func(embedding []V
 	if err != nil {
 		return err
 	}
-	enum.ForEachIncremental(data, tree,
+	return enum.ForEachIncrementalCtx(ctx, data, tree,
 		icec.Options{RefineRounds: o.RefineRounds, Stats: o.Stats},
 		enum.Options{
 			Workers:                 o.Workers,
@@ -377,7 +414,6 @@ func ForEachIncremental(data, query *Graph, opts *Options, fn func(embedding []V
 			Trace:                   o.Tracer,
 			Progress:                o.reporter(),
 		}, fn)
-	return nil
 }
 
 // CountIncremental counts embeddings via ForEachIncremental.

@@ -20,14 +20,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"ceci"
@@ -45,6 +49,7 @@ type runConfig struct {
 	qg        string
 	workers   int
 	limit     int64
+	timeout   time.Duration // -timeout: overall deadline; partial counts + non-zero exit when hit
 	strategy  string
 	beta      float64
 	orderName string
@@ -81,6 +86,7 @@ func main() {
 	flag.StringVar(&cfg.qg, "qg", "", "built-in query graph: QG1..QG5 (alternative to -query)")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker count (0 = all cores)")
 	flag.Int64Var(&cfg.limit, "limit", 0, "stop after this many embeddings (0 = all)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort after this long, reporting partial counts and exiting non-zero (0 = no deadline)")
 	flag.StringVar(&cfg.strategy, "strategy", "fgd", "workload strategy: st | cgd | fgd")
 	flag.Float64Var(&cfg.beta, "beta", 0.2, "extreme-cluster threshold factor")
 	flag.StringVar(&cfg.orderName, "order", "bfs", "matching order: bfs | least-frequent | path-ranked | edge-ranked")
@@ -100,13 +106,18 @@ func main() {
 	flag.StringVar(&cfg.verifyOut, "verify-out", ".", "directory for minimized counterexample .lg files")
 	flag.Parse()
 
-	if err := run(cfg); err != nil {
+	// SIGINT/SIGTERM cancel the run's context: the build aborts at its
+	// next expansion step, enumeration at its next depth step, and the
+	// telemetry endpoint drains — same path as -timeout expiry.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cecirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg runConfig) error {
+func run(ctx context.Context, cfg runConfig) error {
 	if cfg.errw == nil {
 		cfg.errw = os.Stderr
 	}
@@ -115,6 +126,11 @@ func run(cfg runConfig) error {
 	}
 	if cfg.verify {
 		return runVerify(cfg)
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
 	}
 
 	data, err := loadData(cfg.dataPath, cfg.dataset)
@@ -197,7 +213,13 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Graceful drain on exit (including SIGINT/SIGTERM): in-flight
+		// scrapes finish, bounded by a short window.
+		defer func() {
+			drainCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Shutdown(drainCtx)
+		}()
 		fmt.Fprintf(cfg.errw, "telemetry: http://%s/\n", srv.Addr())
 	}
 
@@ -234,8 +256,11 @@ func run(cfg runConfig) error {
 	}
 
 	buildStart := time.Now()
-	m, err := ceci.Match(data, query, opts)
+	m, err := ceci.MatchCtx(ctx, data, query, opts)
 	if err != nil {
+		if isDeadline(err) {
+			return fmt.Errorf("timed out after %v during index build (no partial counts: the index was incomplete)", cfg.timeout)
+		}
 		return err
 	}
 	buildTime := time.Since(buildStart)
@@ -248,9 +273,10 @@ func run(cfg runConfig) error {
 
 	enumStart := time.Now()
 	var count int64
+	var enumErr error
 	if cfg.printEmbs {
 		var mu sync.Mutex
-		m.ForEach(func(emb []ceci.VertexID) bool {
+		enumErr = m.ForEachCtx(ctx, func(emb []ceci.VertexID) bool {
 			mu.Lock()
 			fmt.Println(emb)
 			count++
@@ -258,9 +284,27 @@ func run(cfg runConfig) error {
 			return true
 		})
 	} else {
-		count = m.Count()
+		count, enumErr = m.CountCtx(ctx)
 	}
 	enumTime := time.Since(enumStart)
+
+	if enumErr != nil {
+		// The run was cut short (deadline or signal). Partial counts are
+		// still meaningful — every reported embedding was verified — so
+		// print them before exiting non-zero.
+		fmt.Printf("embeddings: %d (partial)\n", count)
+		fmt.Printf("build:      %v\n", buildTime)
+		fmt.Printf("enumerate:  %v (interrupted)\n", enumTime)
+		if cfg.statsJSON {
+			if err := writeStatsJSON(cfg.errw, opts); err != nil {
+				return err
+			}
+		}
+		if isDeadline(enumErr) {
+			return fmt.Errorf("timed out after %v with %d embeddings found", cfg.timeout, count)
+		}
+		return fmt.Errorf("interrupted with %d embeddings found: %w", count, enumErr)
+	}
 
 	fmt.Printf("embeddings: %d\n", count)
 	fmt.Printf("build:      %v\n", buildTime)
@@ -284,6 +328,9 @@ func run(cfg runConfig) error {
 	}
 	return nil
 }
+
+// isDeadline reports whether err is a context deadline expiry.
+func isDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
 
 // writeStatsJSON dumps the final counter snapshot and span tree as one
 // JSON document, machine-readable from stderr.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -42,7 +43,7 @@ func TestRunFromFiles(t *testing.T) {
 			workers: 1, strategy: strategy, beta: 0.2, orderName: "bfs",
 			verbose: true, explain: true,
 		}
-		if err := run(cfg); err != nil {
+		if err := run(context.Background(), cfg); err != nil {
 			t.Fatalf("strategy %s: %v", strategy, err)
 		}
 	}
@@ -53,7 +54,7 @@ func TestRunBuiltins(t *testing.T) {
 		dataset: "yt_s", qg: "QG1",
 		workers: 2, limit: 100, strategy: "fgd", beta: 0.2, orderName: "least-frequent",
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -66,7 +67,7 @@ func TestRunExplainAnalyze(t *testing.T) {
 		workers: 2, strategy: "fgd", beta: 0.2, orderName: "bfs",
 		explainAnalyze: true, outw: &stdout, errw: &stderr,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := stdout.String()
@@ -90,7 +91,7 @@ func TestRunProfileJSON(t *testing.T) {
 		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
 		profileJSON: profPath, outw: &stdout, errw: &stderr,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(profPath)
@@ -121,7 +122,7 @@ func TestRunStatsJSON(t *testing.T) {
 		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
 		statsJSON: true, errw: &stderr,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -162,7 +163,7 @@ func TestRunProgressAndTrace(t *testing.T) {
 		workers: 2, strategy: "fgd", beta: 0.2, orderName: "bfs",
 		progressEvery: time.Millisecond, tracePath: tracePath, errw: &stderr,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stderr.String(), "progress: clusters") {
@@ -192,7 +193,7 @@ func TestRunListen(t *testing.T) {
 		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
 		listen: "127.0.0.1:0", errw: &stderr,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stderr.String(), "telemetry: http://") {
@@ -218,7 +219,7 @@ func TestRunValidation(t *testing.T) {
 	for _, c := range cases {
 		c.cfg.workers = 1
 		c.cfg.beta = 0.2
-		if err := run(c.cfg); err == nil {
+		if err := run(context.Background(), c.cfg); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
@@ -230,7 +231,7 @@ func TestRunVerifyMode(t *testing.T) {
 		verify: true, seed: 1, pairs: 10, workers: 2,
 		verifyOut: t.TempDir(), outw: &out, errw: &errb,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatalf("verify failed: %v\n%s", err, errb.String())
 	}
 	if !strings.Contains(out.String(), "all agree") {
@@ -247,10 +248,56 @@ func TestRunVerifyVerbosePrintsPerSeed(t *testing.T) {
 		verify: true, seed: 3, pairs: 2, workers: 1, verbose: true,
 		verifyOut: t.TempDir(), outw: &out, errw: &errb,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "seed 3:") || !strings.Contains(out.String(), "seed 4:") {
 		t.Fatalf("per-seed reports missing: %q", out.String())
+	}
+}
+
+// TestRunTimeoutReportsPartial: a deadline far too short for the query
+// must produce a non-nil (non-zero exit) "timed out" error — with the
+// partial embedding count when enumeration had started.
+func TestRunTimeoutReportsPartial(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.lg")
+	queryPath := filepath.Join(dir, "query.lg")
+	data := gen.ErdosRenyi(3000, 30000, 1)
+	qb := ceci.NewBuilder(4)
+	qb.AddEdge(0, 1)
+	qb.AddEdge(1, 2)
+	qb.AddEdge(2, 3)
+	query, err := qb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, g := range map[string]*ceci.Graph{dataPath: data, queryPath: query} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ceci.WriteLabeledGraph(f, g); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	var out, errb bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		strategy: "fgd", orderName: "bfs", workers: 2,
+		timeout: 2 * time.Millisecond,
+		outw:    &out, errw: &errb,
+	}
+	start := time.Now()
+	err = run(context.Background(), cfg)
+	if err == nil {
+		t.Skip("host finished a 3000-vertex 4-path inside 2ms; nothing to assert")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("error = %v, want a timed-out report", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("timeout took %v to take effect", elapsed)
 	}
 }

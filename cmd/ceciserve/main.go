@@ -1,0 +1,155 @@
+// Command ceciserve runs the long-running query service: the data graph
+// is loaded once and held resident, per-query CECI indexes are cached by
+// canonical query hash, and match requests arrive over an HTTP JSON API
+// with admission control and per-request deadlines.
+//
+// Usage:
+//
+//	ceciserve -data graph.lg -listen :8080
+//	ceciserve -dataset yt_s -listen 127.0.0.1:8080 -cache-mb 512 -concurrency 8
+//
+// Endpoints: POST /query, GET /healthz, GET /cachez, plus the telemetry
+// routes (/metrics, /metrics.json, /trace, /debug/pprof/).
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops
+// accepting, in-flight queries drain (bounded by -drain), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceci"
+	"ceci/internal/datasets"
+	"ceci/internal/graph"
+	"ceci/internal/obs"
+	"ceci/internal/order"
+	"ceci/internal/service"
+	"ceci/internal/stats"
+)
+
+type serveConfig struct {
+	dataPath    string
+	dataset     string
+	listen      string
+	concurrency int
+	queueDepth  int
+	cacheMB     int
+	workers     int
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	maxLimit    int64
+	drain       time.Duration
+
+	errw io.Writer // defaults to os.Stderr; tests capture it
+
+	// ready, when non-nil, receives the bound address once the server
+	// accepts connections (tests use it to find the ephemeral port).
+	ready func(addr string)
+}
+
+func main() {
+	cfg := serveConfig{}
+	flag.StringVar(&cfg.dataPath, "data", "", "data graph file (.lg labeled, else edge list)")
+	flag.StringVar(&cfg.dataset, "dataset", "", "built-in dataset substitute (alternative to -data)")
+	flag.StringVar(&cfg.listen, "listen", ":8080", "address to serve the query API on")
+	flag.IntVar(&cfg.concurrency, "concurrency", 0, "max queries executing at once (0 = all cores)")
+	flag.IntVar(&cfg.queueDepth, "queue", 64, "max queries waiting for a slot before load-shedding")
+	flag.IntVar(&cfg.cacheMB, "cache-mb", 256, "index cache budget in MiB")
+	flag.IntVar(&cfg.workers, "workers", 1, "enumeration workers per query")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "default per-query deadline")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
+	flag.Int64Var(&cfg.maxLimit, "max-limit", 10000, "max embeddings returned per request")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "ceciserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, cfg serveConfig) error {
+	if cfg.errw == nil {
+		cfg.errw = os.Stderr
+	}
+	data, err := loadData(cfg.dataPath, cfg.dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.errw, "ceciserve: data graph %v resident\n", data)
+
+	reg := obs.NewRegistry()
+	eng := service.New(data, service.Options{
+		MaxConcurrent:  cfg.concurrency,
+		QueueDepth:     cfg.queueDepth,
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+		MaxLimit:       cfg.maxLimit,
+		CacheBytes:     int64(cfg.cacheMB) << 20,
+		Workers:        cfg.workers,
+		Order:          order.BFSOrder,
+		Registry:       reg,
+		Tracer:         obs.NewTracer(obs.TracerOptions{}),
+		Stats:          &stats.Counters{},
+	})
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", cfg.listen, err)
+	}
+	srv := &http.Server{Handler: eng.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(cfg.errw, "ceciserve: serving on http://%s/\n", ln.Addr())
+	if cfg.ready != nil {
+		cfg.ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight queries finish
+	// within the window, then force-close whatever remains.
+	fmt.Fprintf(cfg.errw, "ceciserve: shutting down (drain %v)\n", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintf(cfg.errw, "ceciserve: clean shutdown\n")
+	return nil
+}
+
+func loadData(path, dataset string) (*graph.Graph, error) {
+	switch {
+	case path != "" && dataset != "":
+		return nil, fmt.Errorf("-data and -dataset are mutually exclusive")
+	case path != "":
+		return ceci.LoadGraphFile(path)
+	case dataset != "":
+		return datasets.Load(dataset)
+	default:
+		return nil, fmt.Errorf("need -data or -dataset")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"ceci/internal/service"
+)
+
+// TestServeSmoke boots the full server on the paper's Figure 1 pair,
+// exercises healthz/query/cachez through the typed client, and checks
+// the SIGINT path (modeled by context cancellation) shuts down cleanly.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrc := make(chan string, 1)
+	cfg := serveConfig{
+		dataPath:   "../../testdata/fig1_data.lg",
+		listen:     "127.0.0.1:0",
+		queueDepth: 8,
+		cacheMB:    64,
+		workers:    1,
+		timeout:    30 * time.Second,
+		maxTimeout: time.Minute,
+		maxLimit:   100,
+		drain:      5 * time.Second,
+		errw:       io.Discard,
+		ready:      func(a string) { addrc <- a },
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server not ready after 10s")
+	}
+	cl := service.NewClient("http://"+addr, nil)
+
+	h, err := cl.Healthz(ctx)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" || h.DataVertices == 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	queryText, err := os.ReadFile("../../testdata/fig1_query.lg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := service.QueryRequest{Query: string(queryText)}
+	first, err := cl.Query(ctx, req)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if first.Count == 0 || len(first.Embeddings) == 0 {
+		t.Fatalf("fig1 query found nothing: %+v", first)
+	}
+	if first.CacheHit {
+		t.Error("first query reported a cache hit")
+	}
+
+	second, err := cl.Query(ctx, req)
+	if err != nil {
+		t.Fatalf("repeat query: %v", err)
+	}
+	if !second.CacheHit {
+		t.Error("repeat query missed the cache")
+	}
+	if second.Count != first.Count {
+		t.Errorf("counts differ across cache hit: %d vs %d", second.Count, first.Count)
+	}
+
+	cs, err := cl.Cachez(ctx)
+	if err != nil {
+		t.Fatalf("cachez: %v", err)
+	}
+	if cs.Hits < 1 || cs.Entries != 1 {
+		t.Errorf("cache stats = %+v, want >=1 hit and 1 entry", cs)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+}

@@ -1,6 +1,7 @@
 package ceci
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sort"
@@ -20,6 +21,42 @@ import (
 // deletion, and (unless disabled) the reverse-BFS refinement of
 // Algorithm 2.
 func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
+	ix, _ := BuildCtx(context.Background(), data, tree, opts)
+	return ix
+}
+
+// BuildCtx is Build with cancellation: the construction observes ctx at
+// frontier-chunk, query-vertex, and refinement-round granularity and
+// aborts promptly once the deadline passes or the context is cancelled,
+// returning a nil index and the context's error. The cancellation check
+// is one relaxed atomic load — workers never block on the context — so
+// the uncancelled build costs the same as Build.
+func BuildCtx(ctx context.Context, data *graph.Graph, tree *order.QueryTree, opts Options) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cancelled *atomic.Bool
+	if ctx.Done() != nil {
+		cancelled = new(atomic.Bool)
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	ix := build(data, tree, opts, cancelled)
+	if cancelled != nil && cancelled.Load() {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// build is the shared construction body. cancelled, when non-nil, is
+// flipped by the context watcher; the partially built index returned
+// after an abort is discarded by BuildCtx.
+func build(data *graph.Graph, tree *order.QueryTree, opts Options, cancelled *atomic.Bool) *Index {
 	if opts.RefineRounds <= 0 {
 		opts.RefineRounds = 1
 	}
@@ -27,10 +64,11 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 		obs.Int("query_vertices", int64(tree.NumVertices())))
 	defer span.End()
 	ix := &Index{
-		Data:  data,
-		Tree:  tree,
-		Nodes: make([]Node, tree.NumVertices()),
-		opts:  opts,
+		Data:    data,
+		Tree:    tree,
+		Nodes:   make([]Node, tree.NumVertices()),
+		opts:    opts,
+		bcancel: cancelled,
 	}
 	ix.indexNTEChildren()
 	if p := opts.Profile; p != nil {
@@ -70,6 +108,10 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 	// tree edge, then each incoming non-tree edge.
 	esp := span.Child("expand", obs.Int("pivots", int64(len(ix.Nodes[root].Cands))))
 	for _, u := range tree.Order[1:] {
+		if ix.buildCancelled() {
+			esp.End()
+			return ix
+		}
 		ix.buildTE(u)
 		ix.buildNTE(u)
 	}
@@ -79,10 +121,16 @@ func Build(data *graph.Graph, tree *order.QueryTree, opts Options) *Index {
 		ix.optimisticCardinalities()
 	} else {
 		for round := 0; round < opts.RefineRounds; round++ {
+			if ix.buildCancelled() {
+				return ix
+			}
 			rsp := span.Child("refine", obs.Int("round", int64(round)))
 			ix.refine()
 			rsp.End()
 		}
+	}
+	if ix.buildCancelled() {
+		return ix
 	}
 	if !opts.skipFreeze {
 		// Compact the mutable build-time structures into the flat
@@ -136,6 +184,13 @@ func (ix *Index) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// buildCancelled reports whether the construction's context fired. The
+// flag is nil for non-cancellable builds, so the check costs one nil
+// compare on the Build path and one atomic load under BuildCtx.
+func (ix *Index) buildCancelled() bool {
+	return ix.bcancel != nil && ix.bcancel.Load()
+}
+
 // parallelFor runs fn(i, w) for i in [0, n) across the index's worker
 // budget, pulling fixed-size chunks from a shared cursor — the paper's
 // pull-based dynamic distribution with per-thread private bins (§3.6).
@@ -148,6 +203,9 @@ func (ix *Index) parallelFor(n int, fn func(i, w int)) {
 	}
 	if workers <= 1 || n < 64 {
 		for i := 0; i < n; i++ {
+			if i&63 == 0 && ix.buildCancelled() {
+				return
+			}
 			fn(i, 0)
 		}
 		return
@@ -161,7 +219,7 @@ func (ix *Index) parallelFor(n int, fn func(i, w int)) {
 			defer wg.Done()
 			for {
 				lo := int(atomic.AddInt64(&cursor, chunk)) - chunk
-				if lo >= n {
+				if lo >= n || ix.buildCancelled() {
 					return
 				}
 				hi := lo + chunk
@@ -192,6 +250,11 @@ func (ix *Index) buildTE(u graph.VertexID) {
 		sc.buf = ix.filterNeighborsInto(sc.buf[:0], frontier[i], u)
 		values[i] = sc.arena.copyIn(sc.buf)
 	})
+	if ix.buildCancelled() {
+		// The value table may have unfilled slots; consuming it would
+		// cascade-delete live candidates. The caller discards the index.
+		return
+	}
 
 	node := &ix.Nodes[u]
 	var dead []graph.VertexID
@@ -229,6 +292,9 @@ func (ix *Index) buildNTE(u graph.VertexID) {
 			sc.buf = setops.Intersect(sc.buf[:0], ix.Data.Neighbors(frontier[i]), node.Cands)
 			values[i] = sc.arena.copyIn(sc.buf)
 		})
+		if ix.buildCancelled() {
+			return // unfilled value slots; index is being discarded
+		}
 		if ix.opts.Stats != nil {
 			ix.opts.Stats.IntersectionOps.Add(int64(len(frontier)))
 			ix.opts.Stats.RemoteReads.Add(int64(len(frontier)))

@@ -8,6 +8,7 @@ package ceci
 
 import (
 	"math"
+	"sync/atomic"
 
 	"ceci/internal/graph"
 	"ceci/internal/obs"
@@ -113,6 +114,9 @@ type Index struct {
 	// frozen is set once Freeze has compacted the build-time structures
 	// into the flat arena-backed form.
 	frozen bool
+	// bcancel, when non-nil, is flipped by BuildCtx's context watcher;
+	// construction loops poll it and abort. Build-time only.
+	bcancel *atomic.Bool
 	// scratch holds the per-worker build buffers (private bins, §3.6);
 	// released by Freeze.
 	scratch []buildScratch
@@ -134,6 +138,7 @@ func (ix *Index) Freeze() {
 	ix.frozen = true
 	ix.scratch = nil // release the pooled build buffers
 	ix.valbuf = nil
+	ix.bcancel = nil // the build completed; drop the watcher flag
 	for u := range ix.Nodes {
 		ix.Nodes[u].freeze()
 	}

@@ -19,6 +19,9 @@ import (
 func (ix *Index) refine() {
 	tree := ix.Tree
 	for i := len(tree.Order) - 1; i >= 0; i-- {
+		if ix.buildCancelled() {
+			return
+		}
 		u := tree.Order[i]
 		node := &ix.Nodes[u]
 		node.Card = make(map[graph.VertexID]int64, len(node.Cands))

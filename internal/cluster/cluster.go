@@ -29,6 +29,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -184,6 +185,19 @@ type Result struct {
 
 // Run executes the distributed subgraph listing simulation.
 func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), data, query, cfg)
+}
+
+// RunCtx is Run under a context. Cancellation is honored at cluster
+// granularity — each machine checks the context before building its CECI,
+// before every locally-owned pivot, and before every steal — and inside
+// per-cluster enumeration through the enumerator's own context plumbing.
+// On cancellation the partial Result accumulated so far is returned
+// together with the context's cause.
+func RunCtx(ctx context.Context, data, query *graph.Graph, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
@@ -211,6 +225,7 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 	for i := range machines {
 		machines[i] = &machine{
 			id:     i,
+			ctx:    ctx,
 			cfg:    &cfg,
 			data:   data,
 			tree:   tree,
@@ -271,6 +286,9 @@ func Run(data, query *graph.Graph, cfg Config) (*Result, error) {
 	cfg.Profile.AddEnumWall(res.Makespan)
 	// Embeddings, steals, and remote reads were added to cfg.Stats live,
 	// per pivot/steal, inside machine.run.
+	if err := ctx.Err(); err != nil {
+		return res, context.Cause(ctx)
+	}
 	return res, nil
 }
 
@@ -424,6 +442,7 @@ func (r *stealRegistry) victim(self int) (int, bool) {
 
 type machine struct {
 	id     int
+	ctx    context.Context
 	cfg    *Config
 	data   *graph.Graph
 	tree   *order.QueryTree
@@ -445,12 +464,18 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	q.mu.Unlock()
 	var ix *ceci.Index
 	if len(myPivots) > 0 {
-		ix = ceci.Build(m.data, m.tree, ceci.Options{
+		var err error
+		ix, err = ceci.BuildCtx(m.ctx, m.data, m.tree, ceci.Options{
 			Workers: m.cfg.WorkersPerMachine,
 			Pivots:  myPivots,
 			Stats:   st,
 			Profile: m.cfg.Profile,
 		})
+		if err != nil {
+			// Cancelled mid-build: this machine contributes nothing; the
+			// loops below observe the context and drain immediately.
+			ix = nil
+		}
 	}
 	bsp.End()
 	if p := m.cfg.Profile; p != nil && ix != nil {
@@ -496,7 +521,7 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 			Strategy: workload.FGD,
 			Beta:     m.cfg.Beta,
 		})
-		n := matcher.Count()
+		n, _ := matcher.CountCtx(m.ctx)
 		found += n
 		// Live accounting: the totals and global counters advance per
 		// cluster, not at machine exit, so telemetry tracks the run.
@@ -504,6 +529,9 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 		m.cfg.Stats.AddEmbeddings(n)
 	}
 	for {
+		if m.ctx.Err() != nil {
+			break
+		}
 		pivot, ok := q.pop()
 		if !ok {
 			break
@@ -513,7 +541,7 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 		}
 	}
 	// Work stealing: one-sided reads of the victim's queue and index.
-	for {
+	for m.ctx.Err() == nil {
 		victim, ok := reg.victim(m.id)
 		if !ok {
 			break

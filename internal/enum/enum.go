@@ -6,6 +6,7 @@
 package enum
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,18 @@ func (m *Matcher) Count() int64 {
 	return n.Load()
 }
 
+// CountCtx counts embeddings under ctx. On cancellation or deadline it
+// returns the embeddings delivered so far together with the context's
+// error, so callers can report partial counts.
+func (m *Matcher) CountCtx(ctx context.Context) (int64, error) {
+	var n atomic.Int64
+	err := m.ForEachCtx(ctx, func([]graph.VertexID) bool {
+		n.Add(1)
+		return true
+	})
+	return n.Load(), err
+}
+
 // Collect gathers embeddings into a slice (each indexed by query vertex
 // ID). Intended for tests and small result sets; prefer ForEach for
 // large enumerations.
@@ -113,6 +126,40 @@ func (m *Matcher) Collect() [][]graph.VertexID {
 // may be called concurrently from multiple workers and must be
 // goroutine-safe; returning false stops the enumeration early.
 func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
+	m.forEach(&control{fn: fn, limit: m.opts.Limit})
+}
+
+// ForEachCtx is ForEach under a context: when ctx is cancelled or its
+// deadline passes, the shared stop flag is raised and every worker
+// unwinds at its next depth step — the same mechanism Limit uses, so
+// cancellation adds nothing to the per-step cost and nothing to the
+// steady-state allocation count. Embeddings already delivered to fn
+// stay delivered; the return value is the context's cause (nil on a
+// complete, uncancelled enumeration).
+func (m *Matcher) ForEachCtx(ctx context.Context, fn func(emb []graph.VertexID) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ctl := &control{fn: fn, limit: m.opts.Limit}
+	var cancelled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			cancelled.Store(true)
+			ctl.stop.Store(true)
+		})
+		defer stop()
+	}
+	m.forEach(ctl)
+	if cancelled.Load() {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+func (m *Matcher) forEach(ctl *control) {
 	units := m.units()
 	if rep := m.opts.Progress; rep != nil {
 		var card int64
@@ -168,8 +215,6 @@ func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
 		defer func() { p.AddEnumWall(time.Since(enumStart)) }()
 	}
 
-	ctl := &control{fn: fn, limit: m.opts.Limit}
-
 	switch m.opts.Strategy {
 	case workload.ST:
 		groups := workload.Partition(units, workers)
@@ -213,7 +258,9 @@ func (m *Matcher) units() []workload.Unit {
 	}
 }
 
-// control carries the shared early-termination state.
+// control carries the shared early-termination state. The stop flag is
+// raised by the limit logic, by a consumer returning false, and by the
+// context watcher in ForEachCtx.
 type control struct {
 	fn      func([]graph.VertexID) bool
 	limit   int64
@@ -221,29 +268,34 @@ type control struct {
 	stop    atomic.Bool
 }
 
-// emit delivers one embedding; reports whether enumeration may continue.
-func (c *control) emit(emb []graph.VertexID) bool {
+// emit delivers one embedding. delivered reports whether fn actually
+// received it — under a Limit, racing workers can reserve slots past the
+// cap, and those embeddings are never delivered — and cont whether
+// enumeration may continue. Counter sinks must charge only delivered
+// embeddings, or a limit- or cancel-stopped run reports more embeddings
+// than its consumer ever saw.
+func (c *control) emit(emb []graph.VertexID) (delivered, cont bool) {
 	if c.limit > 0 {
 		n := c.emitted.Add(1)
 		if n > c.limit {
 			c.stop.Store(true)
-			return false
+			return false, false
 		}
 		if !c.fn(emb) {
 			c.stop.Store(true)
-			return false
+			return true, false
 		}
 		if n == c.limit {
 			c.stop.Store(true)
-			return false
+			return true, false
 		}
-		return true
+		return true, true
 	}
 	if !c.fn(emb) {
 		c.stop.Store(true)
-		return false
+		return true, false
 	}
-	return true
+	return true, true
 }
 
 func (m *Matcher) runWorker(id int, ctl *control, parent *obs.Span, next func() (workload.Unit, bool)) {

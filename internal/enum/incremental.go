@@ -1,6 +1,7 @@
 package enum
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,13 +29,29 @@ import (
 // globally across clusters.
 func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 	bopts ceci.Options, eopts Options, fn func(emb []graph.VertexID) bool) {
+	_ = ForEachIncrementalCtx(context.Background(), data, tree, bopts, eopts, fn)
+}
+
+// ForEachIncrementalCtx is ForEachIncremental under a context: the
+// deadline/cancel is honored at cluster granularity between per-pivot
+// builds, inside each on-demand build (via ceci.BuildCtx), and at depth-
+// step granularity inside enumeration through the shared stop flag.
+// Returns the context's cause when the run was cut short, nil otherwise.
+func ForEachIncrementalCtx(ctx context.Context, data *graph.Graph, tree *order.QueryTree,
+	bopts ceci.Options, eopts Options, fn func(emb []graph.VertexID) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	var pivots []graph.VertexID
 	order.ForEachCandidate(data, tree.Query, tree.Root, func(v graph.VertexID) {
 		pivots = append(pivots, v)
 	})
 	if len(pivots) == 0 {
-		return
+		return nil
 	}
 
 	workers := eopts.Workers
@@ -49,6 +66,14 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 		cons = auto.Compute(tree.Query)
 	}
 	ctl := &control{fn: fn, limit: eopts.Limit}
+	var cancelled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			cancelled.Store(true)
+			ctl.stop.Store(true)
+		})
+		defer stop()
+	}
 
 	if rep := eopts.Progress; rep != nil {
 		// Cluster cardinalities are unknown up front (each cluster's index
@@ -98,7 +123,10 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 				clusterOpts.Workers = 1
 				clusterOpts.Pivots = pivotBuf
 				clusterOpts.Tracer = nil // per-cluster builds would flood the trace
-				ix := ceci.Build(data, tree, clusterOpts)
+				ix, err := ceci.BuildCtx(ctx, data, tree, clusterOpts)
+				if err != nil {
+					return // cancelled mid-build; ctl.stop is already up
+				}
 				if len(ix.Pivots()) == 0 {
 					eopts.Profile.WorkerUnit(w, time.Since(unitStart))
 					eopts.Progress.ClusterDone(0)
@@ -121,6 +149,10 @@ func ForEachIncremental(data *graph.Graph, tree *order.QueryTree,
 		}(w)
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // CountIncremental counts embeddings via ForEachIncremental.

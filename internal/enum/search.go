@@ -73,14 +73,25 @@ func (s *searcher) runUnit(u workload.Unit) bool {
 }
 
 // search extends the embedding at the given matching-order depth.
-// Returns false to stop enumeration (limit reached or consumer stop).
+// Returns false to stop enumeration (limit reached, consumer stop, or
+// context cancellation).
 func (s *searcher) search(depth int) bool {
+	// The entry check gives depth-step cancellation granularity: once the
+	// stop flag is up — limit, consumer, or a context deadline — no new
+	// depth is entered, even on a worker's first descent. One relaxed
+	// atomic load; nothing allocates.
+	if s.ctl.stop.Load() {
+		return false
+	}
 	if depth == s.tree.n {
-		s.embeddings++
-		if s.embeddings&liveFlushMask == 0 {
-			s.flush()
+		delivered, cont := s.ctl.emit(s.emb)
+		if delivered {
+			s.embeddings++
+			if s.embeddings&liveFlushMask == 0 {
+				s.flush()
+			}
 		}
-		return s.ctl.emit(s.emb)
+		return cont
 	}
 	u := s.tree.order[depth]
 	s.recursiveCalls++

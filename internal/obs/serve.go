@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -365,11 +366,24 @@ type Server struct {
 // Addr returns the bound address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down immediately, dropping in-flight scrapes.
 func (s *Server) Close() error {
 	err := s.srv.Close()
 	// srv.Close closes the listener too; double-close is harmless.
 	s.ln.Close()
+	return err
+}
+
+// Shutdown drains the endpoint gracefully: the listener stops accepting
+// and in-flight requests (a scrape, a pprof profile) finish within ctx's
+// deadline before the server closes. Falls back to Close on an expired
+// context.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	s.ln.Close()
+	if err != nil {
+		s.srv.Close()
+	}
 	return err
 }
 

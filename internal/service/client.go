@@ -1,0 +1,115 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a thin typed client for the service HTTP API, used by
+// ceciserve's tests and the CI smoke job.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server at base (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for the default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// APIError is a non-2xx response. Unwrap exposes the sentinel matching
+// the status code (ErrOverloaded for 429, context.DeadlineExceeded for
+// 504) so callers can errors.Is against engine semantics.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// Resp carries the body when the server included one (504 partial
+	// results land here).
+	Resp *QueryResponse
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+func (e *APIError) Unwrap() error {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	case http.StatusGatewayTimeout:
+		return context.DeadlineExceeded
+	case http.StatusBadRequest:
+		return ErrBadQuery
+	}
+	return nil
+}
+
+// Query posts a match request. On a 504 the returned *QueryResponse is
+// non-nil (partial counts) alongside the *APIError.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	var out QueryResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("service: decoding response: %w", err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return &out, &APIError{StatusCode: hresp.StatusCode, Message: out.Error, Resp: &out}
+	}
+	return &out, nil
+}
+
+// Healthz fetches the liveness document.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cachez fetches the index-cache statistics.
+func (c *Client) Cachez(ctx context.Context) (*CacheStats, error) {
+	var out CacheStats
+	if err := c.getJSON(ctx, "/cachez", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return &APIError{StatusCode: hresp.StatusCode, Message: string(b)}
+	}
+	return json.NewDecoder(hresp.Body).Decode(v)
+}

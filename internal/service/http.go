@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ceci/internal/graph"
+)
+
+// QueryRequest is the wire form of POST /query. The pattern graph comes
+// either as .lg text ("query") or inline ("labels" + "edges"); exactly
+// one form must be present.
+type QueryRequest struct {
+	// Query is the pattern in the labeled-graph text format
+	// ("t n m", "v id label", "e u v" lines).
+	Query string `json:"query,omitempty"`
+	// Labels gives per-vertex labels for the inline form; vertex i has
+	// label Labels[i].
+	Labels []uint32 `json:"labels,omitempty"`
+	// Edges lists undirected edges [u, v] over the inline vertices.
+	Edges [][2]uint32 `json:"edges,omitempty"`
+
+	Limit     int64 `json:"limit,omitempty"`
+	Offset    int64 `json:"offset,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	CountOnly bool  `json:"count_only,omitempty"`
+}
+
+// QueryResponse is the wire form of a query result. Deadline-exceeded
+// responses (HTTP 504) still carry the partial count with Partial=true.
+type QueryResponse struct {
+	Count      int64              `json:"count"`
+	Embeddings [][]graph.VertexID `json:"embeddings,omitempty"`
+	CacheHit   bool               `json:"cache_hit"`
+	Partial    bool               `json:"partial,omitempty"`
+	BuildMS    float64            `json:"build_ms"`
+	EnumMS     float64            `json:"enum_ms"`
+	Error      string             `json:"error,omitempty"`
+}
+
+// HealthResponse is the wire form of GET /healthz.
+type HealthResponse struct {
+	Status       string `json:"status"`
+	DataVertices int    `json:"data_vertices"`
+	DataEdges    int    `json:"data_edges"`
+	DataLabels   int    `json:"data_labels"`
+}
+
+// Handler returns the engine's HTTP API:
+//
+//	POST /query    run a match request (JSON in/out)
+//	GET  /healthz  liveness + data graph shape
+//	GET  /cachez   index cache statistics
+//
+// When the engine has a Registry, its telemetry routes (/metrics,
+// /metrics.json, /trace, /debug/pprof/) are mounted as the fallback.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", e.handleQuery)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /cachez", e.handleCachez)
+	if reg := e.opts.Registry; reg != nil {
+		mux.Handle("/", reg.Handler())
+	}
+	return mux
+}
+
+func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var wire QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	q, err := wire.queryGraph()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
+		return
+	}
+	req := Request{
+		Query:     q,
+		Limit:     wire.Limit,
+		Offset:    wire.Offset,
+		Timeout:   time.Duration(wire.TimeoutMS) * time.Millisecond,
+		CountOnly: wire.CountOnly,
+	}
+	resp, err := e.Query(r.Context(), req)
+	wire2 := QueryResponse{}
+	if resp != nil {
+		wire2 = QueryResponse{
+			Count:      resp.Count,
+			Embeddings: resp.Embeddings,
+			CacheHit:   resp.CacheHit,
+			Partial:    resp.Partial,
+			BuildMS:    float64(resp.BuildTime) / float64(time.Millisecond),
+			EnumMS:     float64(resp.EnumTime) / float64(time.Millisecond),
+		}
+	}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, wire2)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		wire2.Error = err.Error()
+		writeJSON(w, http.StatusTooManyRequests, wire2)
+	case errors.Is(err, ErrBadQuery):
+		wire2.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, wire2)
+	case errors.Is(err, context.DeadlineExceeded):
+		wire2.Error = err.Error()
+		wire2.Partial = true
+		writeJSON(w, http.StatusGatewayTimeout, wire2)
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is moot but 499-style is closest.
+		wire2.Error = err.Error()
+		writeJSON(w, 499, wire2)
+	default:
+		wire2.Error = err.Error()
+		writeJSON(w, http.StatusInternalServerError, wire2)
+	}
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:       "ok",
+		DataVertices: e.data.NumVertices(),
+		DataEdges:    e.data.NumEdges(),
+		DataLabels:   e.data.NumLabels(),
+	})
+}
+
+func (e *Engine) handleCachez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, e.cache.stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// queryGraph materializes the pattern from whichever wire form is set.
+func (q *QueryRequest) queryGraph() (*graph.Graph, error) {
+	hasText := q.Query != ""
+	hasInline := len(q.Labels) > 0
+	switch {
+	case hasText && hasInline:
+		return nil, fmt.Errorf("%w: give either query text or labels/edges, not both", ErrBadQuery)
+	case hasText:
+		g, err := graph.LoadLabeled(strings.NewReader(q.Query))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		return g, nil
+	case hasInline:
+		n := len(q.Labels)
+		b := graph.NewBuilder(n)
+		for v, l := range q.Labels {
+			b.SetLabel(graph.VertexID(v), l)
+		}
+		for _, e := range q.Edges {
+			if int(e[0]) >= n || int(e[1]) >= n {
+				return nil, fmt.Errorf("%w: edge [%d,%d] references vertex >= %d", ErrBadQuery, e[0], e[1], n)
+			}
+			b.AddEdge(e[0], e[1])
+		}
+		g, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("%w: no query given", ErrBadQuery)
+	}
+}

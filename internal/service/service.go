@@ -1,0 +1,474 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	icec "ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/graph"
+	"ceci/internal/obs"
+	"ceci/internal/order"
+	"ceci/internal/stats"
+	"ceci/internal/verify"
+)
+
+// ErrOverloaded is returned when both the worker pool and the wait queue
+// are full; HTTP maps it to 429 so clients can back off and retry.
+var ErrOverloaded = errors.New("service: overloaded, queue full")
+
+// ErrBadQuery wraps query-validation failures; HTTP maps it to 400.
+var ErrBadQuery = errors.New("service: bad query")
+
+// Options configures an Engine. Zero values get sensible server
+// defaults (documented per field).
+type Options struct {
+	// MaxConcurrent bounds queries executing simultaneously
+	// (default GOMAXPROCS). Each query may itself use Workers cores, so
+	// the product is the real CPU ceiling.
+	MaxConcurrent int
+	// QueueDepth bounds queries waiting for a worker slot (default 64).
+	// A query arriving with pool and queue both full is shed with
+	// ErrOverloaded instead of queueing unboundedly.
+	QueueDepth int
+	// DefaultTimeout applies when a request carries none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (default 5m).
+	MaxTimeout time.Duration
+	// MaxLimit caps embeddings returned per request (default 10000).
+	// Counts (CountOnly) are not capped — only materialized results.
+	MaxLimit int64
+	// CacheBytes is the index cache budget, charged against each frozen
+	// index's PhysicalBytes (default 256 MiB).
+	CacheBytes int64
+	// Workers bounds per-query enumeration parallelism (default 1: with
+	// MaxConcurrent queries in flight the server is already parallel
+	// across requests; raise this for latency-sensitive single-tenant
+	// setups).
+	Workers int
+	// Order selects the matching-order heuristic for built indexes.
+	Order order.Heuristic
+	// Registry, when non-nil, receives cache/admission gauges and
+	// latency histograms (served at /metrics under the HTTP handler).
+	Registry *obs.Registry
+	// Tracer, when non-nil, records one span per request with
+	// cache-hit/build/enumerate children.
+	Tracer *obs.Tracer
+	// Stats, when non-nil, accumulates build/enumeration counters
+	// across all requests.
+	Stats *stats.Counters
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.MaxLimit <= 0 {
+		o.MaxLimit = 10000
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Request is one match request against the engine's resident data graph.
+type Request struct {
+	// Query is the pattern graph. Embeddings in the response are indexed
+	// by this graph's vertex ids (even on a cache hit by an isomorphic
+	// stored query — the engine translates).
+	Query *graph.Graph
+	// Limit caps embeddings delivered (0 = server MaxLimit for
+	// materialized results, unlimited for CountOnly).
+	Limit int64
+	// Offset skips this many embeddings before collecting. Pagination is
+	// best-effort: parallel enumeration order is nondeterministic, so
+	// pages are stable only with Workers=1 per query.
+	Offset int64
+	// Timeout overrides the server default (clamped to MaxTimeout).
+	Timeout time.Duration
+	// CountOnly skips materializing embeddings.
+	CountOnly bool
+}
+
+// Response carries the result. On deadline errors the engine still
+// returns a Response with Partial=true and the counts reached.
+type Response struct {
+	Count      int64
+	Embeddings [][]graph.VertexID
+	CacheHit   bool
+	Partial    bool
+	BuildTime  time.Duration
+	EnumTime   time.Duration
+}
+
+// buildCall is the singleflight slot for one cache key: concurrent
+// requests for the same (isomorphism class of) query share one build.
+type buildCall struct {
+	done  chan struct{}
+	entry *entry
+	err   error
+}
+
+// Engine executes queries against one resident data graph.
+type Engine struct {
+	data  *graph.Graph
+	opts  Options
+	cache *cache
+
+	sem   chan struct{} // running-query slots (MaxConcurrent)
+	queue chan struct{} // waiting-query slots (QueueDepth)
+
+	buildMu  sync.Mutex
+	building map[string]*buildCall
+
+	// Admission/serving counters, exposed as ceci_service_* gauges.
+	requests  atomic.Int64
+	shed      atomic.Int64
+	deadlines atomic.Int64
+	builds    atomic.Int64
+	inflight  atomic.Int64
+	waiting   atomic.Int64
+
+	latency   *obs.Histogram // end-to-end request seconds
+	queueWait *obs.Histogram // admission wait seconds
+}
+
+// New returns an Engine serving queries against data. The graph is held
+// resident for the engine's lifetime; indexes are built per query class
+// on demand and cached.
+func New(data *graph.Graph, opts Options) *Engine {
+	o := opts.withDefaults()
+	e := &Engine{
+		data:      data,
+		opts:      o,
+		cache:     newCache(o.CacheBytes),
+		sem:       make(chan struct{}, o.MaxConcurrent),
+		queue:     make(chan struct{}, o.QueueDepth),
+		building:  make(map[string]*buildCall),
+		latency:   obs.NewHistogram(obs.LatencyBuckets()),
+		queueWait: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+	if reg := o.Registry; reg != nil {
+		reg.SetHistogram("service_latency_seconds", e.latency)
+		reg.SetHistogram("service_queue_wait_seconds", e.queueWait)
+		reg.SetSource("service", func() map[string]int64 {
+			return map[string]int64{
+				"requests":          e.requests.Load(),
+				"shed":              e.shed.Load(),
+				"deadline_exceeded": e.deadlines.Load(),
+				"builds":            e.builds.Load(),
+				"inflight":          e.inflight.Load(),
+				"queue_depth":       e.waiting.Load(),
+			}
+		})
+		reg.SetSource("cache", func() map[string]int64 {
+			s := e.cache.stats()
+			return map[string]int64{
+				"entries":      int64(s.Entries),
+				"used_bytes":   s.UsedBytes,
+				"budget_bytes": s.BudgetBytes,
+				"hits":         s.Hits,
+				"misses":       s.Misses,
+				"evictions":    s.Evictions,
+				"rejected":     s.Rejected,
+			}
+		})
+		if o.Stats != nil {
+			reg.SetCounters(o.Stats)
+		}
+		if o.Tracer != nil {
+			reg.SetTracer(o.Tracer)
+		}
+	}
+	return e
+}
+
+// Data returns the resident data graph.
+func (e *Engine) Data() *graph.Graph { return e.data }
+
+// CacheStats snapshots the index cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Builds returns how many index builds the engine has performed (cache
+// hits skip builds; tests assert on this).
+func (e *Engine) Builds() int64 { return e.builds.Load() }
+
+// Query runs one request. The flow is: validate, apply deadline, admit
+// (try a worker slot, else a bounded queue slot, else shed), resolve the
+// index (cache hit / singleflight build), enumerate.
+//
+// On deadline/cancellation mid-run it returns the partial Response
+// together with the context's error, so callers can report how far the
+// query got.
+func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
+	e.requests.Add(1)
+	start := time.Now()
+	defer func() { e.latency.ObserveDuration(time.Since(start)) }()
+
+	if req.Query == nil {
+		return nil, fmt.Errorf("%w: nil query graph", ErrBadQuery)
+	}
+	if req.Query.NumVertices() == 0 {
+		return nil, fmt.Errorf("%w: empty query graph", ErrBadQuery)
+	}
+	if req.Offset < 0 || req.Limit < 0 {
+		return nil, fmt.Errorf("%w: negative limit/offset", ErrBadQuery)
+	}
+
+	// Deadline: request timeout, clamped; server default otherwise.
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	if timeout > e.opts.MaxTimeout {
+		timeout = e.opts.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	span := e.opts.Tracer.Start("service-query",
+		obs.Int("query_vertices", int64(req.Query.NumVertices())))
+	defer span.End()
+
+	if err := e.admit(ctx, span); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.deadlines.Add(1)
+		}
+		return nil, err
+	}
+	e.inflight.Add(1)
+	defer func() {
+		e.inflight.Add(-1)
+		<-e.sem
+	}()
+
+	resp, err := e.run(ctx, req, span)
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.deadlines.Add(1)
+	}
+	return resp, err
+}
+
+// admit acquires a worker slot, parking in the bounded queue while the
+// pool is full. Returns ErrOverloaded when the queue is full too, or the
+// context's error if the deadline fires while waiting.
+func (e *Engine) admit(ctx context.Context, span *obs.Span) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil // fast path: free worker slot
+	default:
+	}
+	select {
+	case e.queue <- struct{}{}:
+	default:
+		e.shed.Add(1)
+		return ErrOverloaded
+	}
+	e.waiting.Add(1)
+	waitStart := time.Now()
+	defer func() {
+		e.waiting.Add(-1)
+		e.queueWait.ObserveDuration(time.Since(waitStart))
+		<-e.queue
+	}()
+	wsp := span.Child("queue-wait")
+	defer wsp.End()
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// run resolves the index and enumerates. Called with a worker slot held.
+func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Response, error) {
+	ent, perm, hit, buildTime, err := e.getIndex(ctx, req.Query, span)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Build cut short by the deadline: report what we know.
+			return &Response{Partial: true, BuildTime: buildTime}, context.Cause(ctx)
+		}
+		return nil, err
+	}
+	span.Annotate(obs.String("cache_hit", fmt.Sprint(hit)))
+
+	resp := &Response{CacheHit: hit, BuildTime: buildTime}
+
+	// σ maps incoming query vertices to stored-query vertices through
+	// the canonical form: embeddings from the cached index are indexed
+	// by the stored query's ids and must be translated on a hit by an
+	// isomorphic-but-renumbered query.
+	sigma := composePerm(ent.invPerm, perm)
+
+	limit := req.Limit
+	if !req.CountOnly {
+		if limit <= 0 || limit > e.opts.MaxLimit {
+			limit = e.opts.MaxLimit
+		}
+	}
+	// The enumeration must deliver offset + limit embeddings to fill the
+	// page; CountOnly with Limit 0 counts everything.
+	var stopAfter int64
+	if limit > 0 {
+		stopAfter = req.Offset + limit
+	}
+
+	m := enum.NewMatcher(ent.ix, enum.Options{
+		Workers: e.opts.Workers,
+		Limit:   stopAfter,
+		Stats:   e.opts.Stats,
+	})
+
+	esp := span.Child("enumerate")
+	enumStart := time.Now()
+	var count atomic.Int64
+	var mu sync.Mutex
+	var page [][]graph.VertexID
+	enumErr := m.ForEachCtx(ctx, func(emb []graph.VertexID) bool {
+		n := count.Add(1)
+		if req.CountOnly {
+			return true
+		}
+		if n <= req.Offset {
+			return true
+		}
+		out := make([]graph.VertexID, len(emb))
+		for u := range out {
+			out[u] = emb[sigma[u]]
+		}
+		mu.Lock()
+		page = append(page, out)
+		mu.Unlock()
+		return true
+	})
+	resp.EnumTime = time.Since(enumStart)
+	esp.End()
+
+	resp.Count = count.Load()
+	resp.Embeddings = page
+	if enumErr != nil {
+		resp.Partial = true
+		return resp, enumErr
+	}
+	return resp, nil
+}
+
+// getIndex returns the cache entry for the query's isomorphism class,
+// building (once, via singleflight) on a miss. perm maps the incoming
+// query's vertices to canonical positions.
+func (e *Engine) getIndex(ctx context.Context, q *graph.Graph, span *obs.Span) (ent *entry, perm []int, hit bool, buildTime time.Duration, err error) {
+	key, perm := verify.CanonicalGraph(q)
+	for {
+		if ent, ok := e.cache.get(key); ok {
+			return ent, perm, true, 0, nil
+		}
+		e.buildMu.Lock()
+		if call, ok := e.building[key]; ok {
+			e.buildMu.Unlock()
+			// Follow a build in flight. If the leader's deadline killed
+			// the build but ours is still alive, loop and retry (we may
+			// become the next leader).
+			select {
+			case <-call.done:
+				if call.err != nil {
+					if isCtxErr(call.err) && ctx.Err() == nil {
+						continue
+					}
+					return nil, nil, false, 0, call.err
+				}
+				return call.entry, perm, false, 0, nil
+			case <-ctx.Done():
+				return nil, nil, false, 0, context.Cause(ctx)
+			}
+		}
+		call := &buildCall{done: make(chan struct{})}
+		e.building[key] = call
+		e.buildMu.Unlock()
+
+		bsp := span.Child("build-index")
+		buildStart := time.Now()
+		call.entry, call.err = e.buildEntry(ctx, q, key, perm)
+		buildTime = time.Since(buildStart)
+		bsp.End()
+
+		e.buildMu.Lock()
+		delete(e.building, key)
+		e.buildMu.Unlock()
+		close(call.done)
+
+		if call.err != nil {
+			return nil, nil, false, buildTime, call.err
+		}
+		return call.entry, perm, false, buildTime, nil
+	}
+}
+
+// buildEntry preprocesses and builds one frozen index, inserting it into
+// the cache on success.
+func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, perm []int) (*entry, error) {
+	tree, err := order.Preprocess(e.data, q, order.Options{
+		ForcedRoot: -1,
+		Heuristic:  e.opts.Order,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	ix, err := icec.BuildCtx(ctx, e.data, tree, icec.Options{
+		Workers: e.opts.Workers,
+		Stats:   e.opts.Stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.builds.Add(1)
+	ent := &entry{
+		key:     key,
+		ix:      ix,
+		query:   q,
+		invPerm: invertPerm(perm),
+		bytes:   ix.PhysicalBytes(),
+	}
+	e.cache.add(ent)
+	return ent, nil
+}
+
+// composePerm returns sigma with sigma[u] = invStored[permIncoming[u]]:
+// incoming vertex -> canonical position -> stored query vertex.
+func composePerm(invStored, permIncoming []int) []int {
+	sigma := make([]int, len(permIncoming))
+	for u, p := range permIncoming {
+		sigma[u] = invStored[p]
+	}
+	return sigma
+}
+
+func invertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for v, p := range perm {
+		inv[p] = v
+	}
+	return inv
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

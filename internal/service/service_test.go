@@ -1,0 +1,348 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ceciroot "ceci"
+	"ceci/internal/auto"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/verify"
+)
+
+// testData is a labeled random graph shared by the service tests.
+func testData() *graph.Graph {
+	return gen.WithRandomLabels(gen.ErdosRenyi(400, 2400, 11), 4, 23)
+}
+
+// pathQuery builds a labeled path query of the given labels.
+func pathQuery(t *testing.T, labels ...graph.Label) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(len(labels))
+	for v, l := range labels {
+		b.SetLabel(graph.VertexID(v), l)
+	}
+	for v := 0; v+1 < len(labels); v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// coldSet enumerates query against data with a fresh cold build and
+// returns the canonical embedding set (the differential oracle).
+func coldSet(t *testing.T, data, query *graph.Graph) []string {
+	t.Helper()
+	m, err := ceciroot.Match(data, query, &ceciroot.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("cold match: %v", err)
+	}
+	return verify.CanonicalSet(m.Collect(), auto.Compute(query))
+}
+
+// TestQueryDifferentialVsColdBuild: engine results must match a cold
+// ceci.Match build embedding-for-embedding (canonicalized through the
+// internal/verify oracle), for several distinct queries.
+func TestQueryDifferentialVsColdBuild(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{MaxLimit: 1 << 20})
+	queries := []*graph.Graph{
+		pathQuery(t, 0, 1),
+		pathQuery(t, 1, 2, 3),
+		pathQuery(t, 0, 2, 0),
+		pathQuery(t, 3, 1, 2, 0),
+	}
+	for i, q := range queries {
+		resp, err := eng.Query(context.Background(), Request{Query: q})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		got := verify.CanonicalSet(resp.Embeddings, auto.Compute(q))
+		want := coldSet(t, data, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d embeddings, cold build found %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: embedding sets diverge at %d: %q vs %q", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestCacheHitSkipsBuild: the second identical query must hit the cache
+// and perform zero additional index builds, returning identical results.
+func TestCacheHitSkipsBuild(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{MaxLimit: 1 << 20})
+	q := pathQuery(t, 1, 2, 3)
+
+	first, err := eng.Query(context.Background(), Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || eng.Builds() != 1 {
+		t.Fatalf("first query: hit=%v builds=%d, want miss and 1 build", first.CacheHit, eng.Builds())
+	}
+	second, err := eng.Query(context.Background(), Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second query missed the cache")
+	}
+	if eng.Builds() != 1 {
+		t.Errorf("builds = %d after a repeat query, want 1", eng.Builds())
+	}
+	if second.Count != first.Count {
+		t.Errorf("counts differ across hit: %d vs %d", second.Count, first.Count)
+	}
+	// Same stored index, identity remap: sets are bit-identical.
+	got := verify.CanonicalSet(second.Embeddings, nil)
+	want := verify.CanonicalSet(first.Embeddings, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit embeddings differ from cold at %d", i)
+		}
+	}
+}
+
+// TestIsomorphicQueryHitsCache: a vertex-permuted copy of a cached query
+// must hit (canonical keys are isomorphism invariants) and its
+// embeddings, after the engine's remap, must equal a cold build on the
+// permuted query itself.
+func TestIsomorphicQueryHitsCache(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{MaxLimit: 1 << 20})
+	q := pathQuery(t, 3, 1, 2, 0)
+
+	if _, err := eng.Query(context.Background(), Request{Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		perm, _ := gen.PermuteVertices(q, gen.NewRNG(seed))
+		resp, err := eng.Query(context.Background(), Request{Query: perm})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !resp.CacheHit {
+			t.Fatalf("seed %d: permuted query missed the cache", seed)
+		}
+		got := verify.CanonicalSet(resp.Embeddings, auto.Compute(perm))
+		want := coldSet(t, data, perm)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d embeddings via remap, cold build found %d", seed, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("seed %d: remapped set diverges at %d", seed, j)
+			}
+		}
+	}
+	if eng.Builds() != 1 {
+		t.Errorf("builds = %d, want 1 (all permutations should share one index)", eng.Builds())
+	}
+}
+
+// TestDeadlinePromptOnCachedHeavyQuery: with the index already cached, a
+// 1ms-deadline request on a heavy query must return promptly with
+// DeadlineExceeded and a partial response — the acceptance criterion for
+// deadline-aware cancellation.
+func TestDeadlinePromptOnCachedHeavyQuery(t *testing.T) {
+	data := gen.ErdosRenyi(2000, 24000, 3) // unlabeled: huge path count
+	eng := New(data, Options{MaxLimit: 1 << 20, DefaultTimeout: time.Minute})
+	q := pathQuery(t, 0, 0, 0, 0)
+
+	// Populate the cache without enumerating everything.
+	warm, err := eng.Query(context.Background(), Request{Query: q, Limit: 10})
+	if err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if warm.CacheHit {
+		t.Fatal("warm-up hit an empty cache")
+	}
+
+	start := time.Now()
+	resp, err := eng.Query(context.Background(), Request{Query: q, CountOnly: true, Timeout: time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skipf("host counted %d paths inside 1ms; nothing to assert", resp.Count)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", err)
+	}
+	if resp == nil || !resp.Partial {
+		t.Fatalf("response = %+v, want partial response alongside the error", resp)
+	}
+	if !resp.CacheHit {
+		t.Error("deadline request should have hit the cache (build skipped)")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline took %v to fire, want prompt return", elapsed)
+	}
+}
+
+// TestAdmissionShedsWhenSaturated: with one worker slot and one queue
+// slot both occupied, the next request must be shed with ErrOverloaded
+// instead of waiting.
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{MaxConcurrent: 1, QueueDepth: 1, DefaultTimeout: 5 * time.Second})
+	q := pathQuery(t, 0, 1)
+
+	// Occupy the single worker slot directly, park one request in the
+	// queue, then check the next one bounces.
+	eng.sem <- struct{}{}
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Query(context.Background(), Request{Query: q, CountOnly: true})
+		queuedErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.waiting.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never started waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := eng.Query(context.Background(), Request{Query: q, CountOnly: true})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated engine returned %v, want ErrOverloaded", err)
+	}
+
+	<-eng.sem // free the slot; the queued request proceeds
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued request failed after slot freed: %v", err)
+	}
+}
+
+// TestConcurrentStress hammers one engine from many goroutines with a
+// mix of cache hits, misses, tiny deadlines, and limits — meant to run
+// under -race. Successful responses must report the exact cold-build
+// count for their query.
+func TestConcurrentStress(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{MaxConcurrent: 4, QueueDepth: 64, MaxLimit: 1 << 20})
+
+	queries := []*graph.Graph{
+		pathQuery(t, 0, 1),
+		pathQuery(t, 1, 2, 3),
+		pathQuery(t, 2, 0),
+		pathQuery(t, 3, 1, 2),
+	}
+	want := make([]int64, len(queries))
+	for i, q := range queries {
+		n, err := ceciroot.Count(data, q, &ceciroot.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = n
+	}
+
+	const goroutines = 16
+	const iters = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				req := Request{Query: queries[qi], CountOnly: true}
+				switch (g + i) % 4 {
+				case 1:
+					req.Timeout = time.Millisecond // may or may not expire
+				case 2:
+					req.Limit = 3
+					req.CountOnly = false
+				}
+				resp, err := eng.Query(context.Background(), req)
+				switch {
+				case err == nil:
+					if req.Limit == 0 && resp.Count != want[qi] {
+						errs <- fmt.Errorf("query %d: count %d, want %d", qi, resp.Count, want[qi])
+					}
+					if req.Limit == 3 && int64(len(resp.Embeddings)) > 3 {
+						errs <- fmt.Errorf("limit 3 returned %d embeddings", len(resp.Embeddings))
+					}
+				case errors.Is(err, context.DeadlineExceeded) && req.Timeout > 0:
+					// expected possibility for the 1ms requests
+				case errors.Is(err, ErrOverloaded):
+					// acceptable under saturation
+				default:
+					errs <- fmt.Errorf("query %d: unexpected error %v", qi, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if b := eng.Builds(); b > int64(len(queries)) {
+		t.Errorf("builds = %d, want <= %d (singleflight should coalesce)", b, len(queries))
+	}
+}
+
+// TestBadQueries: validation failures surface as ErrBadQuery.
+func TestBadQueries(t *testing.T) {
+	eng := New(testData(), Options{})
+	cases := []Request{
+		{Query: nil},
+		{Query: pathQuery(t, 0, 1), Limit: -1},
+		{Query: pathQuery(t, 0, 1), Offset: -2},
+	}
+	for i, req := range cases {
+		if _, err := eng.Query(context.Background(), req); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("case %d: error = %v, want ErrBadQuery", i, err)
+		}
+	}
+}
+
+// TestOffsetPagination: with Workers=1 enumeration is deterministic, so
+// two pages must partition the full result prefix.
+func TestOffsetPagination(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{Workers: 1, MaxLimit: 1 << 20})
+	q := pathQuery(t, 1, 2, 3)
+
+	full, err := eng.Query(context.Background(), Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Embeddings) < 4 {
+		t.Skipf("only %d embeddings; pagination needs a few", len(full.Embeddings))
+	}
+	page1, err := eng.Query(context.Background(), Request{Query: q, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page2, err := eng.Query(context.Background(), Request{Query: q, Limit: 2, Offset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Embeddings) != 2 || len(page2.Embeddings) != 2 {
+		t.Fatalf("page sizes %d/%d, want 2/2", len(page1.Embeddings), len(page2.Embeddings))
+	}
+	for i := 0; i < 2; i++ {
+		for u := range full.Embeddings[i] {
+			if page1.Embeddings[i][u] != full.Embeddings[i][u] {
+				t.Fatalf("page1[%d] diverges from full enumeration", i)
+			}
+			if page2.Embeddings[i][u] != full.Embeddings[i+2][u] {
+				t.Fatalf("page2[%d] diverges from full enumeration", i)
+			}
+		}
+	}
+}

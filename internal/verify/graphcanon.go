@@ -1,0 +1,282 @@
+package verify
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"ceci/internal/graph"
+)
+
+// Canonical query keys: the service layer caches built indexes per query
+// graph, so two textually different but isomorphic queries should share
+// one cache slot. CanonicalGraph produces (key, perm) such that
+//
+//   - key is identical for isomorphic graphs (when the "c:" path is
+//     taken), and differs for non-isomorphic ones always — the key
+//     embeds the full relabeled adjacency, so equal keys certify an
+//     exact isomorphism, never a hash collision;
+//   - perm maps original vertex ids to canonical positions
+//     (perm[orig] = canon), letting a cache hit translate embeddings of
+//     the stored query into embeddings of the incoming one.
+//
+// The construction is Weisfeiler-Leman color refinement followed by a
+// bounded permutation search over the surviving color classes. Query
+// graphs are tiny (the paper's workloads top out around a dozen
+// vertices), so the search cap is generous yet still O(10^4) encodings
+// in the worst accepted case. Graphs whose ambiguity exceeds the cap
+// fall back to a deterministic-but-not-invariant "x:" key: correctness
+// is preserved (equal keys still certify isomorphism via the embedded
+// adjacency); only cache sharing between permuted variants is lost.
+
+// maxCanonPerms caps the number of within-class permutations tried
+// during canonical-form search (7! · 2! · 2! = 20160 fits comfortably).
+const maxCanonPerms = 20160
+
+// CanonicalGraph returns a canonical cache key for g and the vertex
+// relabeling (perm[orig] = canonical position) under which the key was
+// produced. Keys beginning "c:" are full canonical forms — permutation
+// invariant. Keys beginning "x:" are deterministic fallbacks for graphs
+// too symmetric to canonicalize within budget.
+func CanonicalGraph(g *graph.Graph) (string, []int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return "c:n=0;", nil
+	}
+
+	colors := refineColors(g)
+
+	// Group vertices into color classes (colors are already dense and
+	// assigned in signature-sorted order, hence permutation invariant).
+	numColors := 0
+	for _, c := range colors {
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	classes := make([][]int, numColors)
+	for v, c := range colors {
+		classes[c] = append(classes[c], v)
+	}
+
+	// Count the permutations a full search would cost.
+	total := 1
+	for _, cl := range classes {
+		for k := 2; k <= len(cl); k++ {
+			total *= k
+			if total > maxCanonPerms {
+				break
+			}
+		}
+		if total > maxCanonPerms {
+			break
+		}
+	}
+
+	if total > maxCanonPerms {
+		// Fallback: order by (color, original id). Deterministic and
+		// distinguishing, but a permuted twin may land on another key.
+		perm := permFromClasses(classes, n)
+		return "x:" + encodeUnder(g, perm), perm
+	}
+
+	// Exact search: for each combination of within-class orderings,
+	// encode the relabeled graph and keep the lexicographically smallest
+	// string. The minimum over all class-respecting relabelings is a
+	// canonical form (WL colors pin each vertex to its class; the search
+	// resolves the remaining symmetry).
+	classPerms := make([][][]int, len(classes))
+	for i, cl := range classes {
+		classPerms[i] = permutations(len(cl))
+	}
+	odo := make([]int, len(classes))
+	perm := make([]int, n)
+	bestPerm := make([]int, n)
+	best := ""
+	for {
+		pos := 0
+		for ci, cl := range classes {
+			p := classPerms[ci][odo[ci]]
+			for j, v := range cl {
+				perm[v] = pos + p[j]
+			}
+			pos += len(cl)
+		}
+		enc := encodeUnder(g, perm)
+		if best == "" || enc < best {
+			best = enc
+			copy(bestPerm, perm)
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(odo); i++ {
+			odo[i]++
+			if odo[i] < len(classPerms[i]) {
+				break
+			}
+			odo[i] = 0
+		}
+		if i == len(odo) {
+			break
+		}
+	}
+	return "c:" + best, bestPerm
+}
+
+// refineColors runs WL color refinement to a stable partition and
+// returns dense, permutation-invariant color ids (colors are numbered by
+// sorted signature string, and signatures are built only from invariant
+// data: label sets and neighbor-color multisets).
+func refineColors(g *graph.Graph) []int {
+	n := g.NumVertices()
+	sigs := make([]string, n)
+	for v := 0; v < n; v++ {
+		sigs[v] = labelSig(g, graph.VertexID(v))
+	}
+	colors, numColors := densify(sigs)
+	for round := 0; round < n; round++ {
+		var nb []int
+		for v := 0; v < n; v++ {
+			nb = nb[:0]
+			for _, w := range g.Neighbors(graph.VertexID(v)) {
+				nb = append(nb, colors[w])
+			}
+			sort.Ints(nb)
+			var b strings.Builder
+			b.WriteString(strconv.Itoa(colors[v]))
+			b.WriteByte('|')
+			for i, c := range nb {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(c))
+			}
+			sigs[v] = b.String()
+		}
+		next, nextNum := densify(sigs)
+		if nextNum == numColors {
+			return next // refinement stalled: partition is stable
+		}
+		colors, numColors = next, nextNum
+	}
+	return colors
+}
+
+// densify maps signature strings to dense ids ordered by sorted
+// signature, so the ids themselves are permutation invariant.
+func densify(sigs []string) ([]int, int) {
+	uniq := append([]string(nil), sigs...)
+	sort.Strings(uniq)
+	w := 0
+	for i, s := range uniq {
+		if i == 0 || s != uniq[i-1] {
+			uniq[w] = s
+			w++
+		}
+	}
+	uniq = uniq[:w]
+	id := make(map[string]int, w)
+	for i, s := range uniq {
+		id[s] = i
+	}
+	out := make([]int, len(sigs))
+	for v, s := range sigs {
+		out[v] = id[s]
+	}
+	return out, w
+}
+
+// labelSig encodes v's label set, sorted, as an invariant string.
+func labelSig(g *graph.Graph, v graph.VertexID) string {
+	ls := g.Labels(v)
+	sorted := append([]graph.Label(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	b.WriteByte('L')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(l), 10))
+	}
+	return b.String()
+}
+
+// permFromClasses orders vertices by (class, original id).
+func permFromClasses(classes [][]int, n int) []int {
+	perm := make([]int, n)
+	pos := 0
+	for _, cl := range classes {
+		for _, v := range cl {
+			perm[v] = pos
+			pos++
+		}
+	}
+	return perm
+}
+
+// encodeUnder serializes g relabeled by perm (perm[orig] = canon):
+// vertex count, per-canonical-vertex label sets, then the sorted edge
+// list in canonical ids. Equal encodings imply isomorphic graphs with
+// the witnessing mapping recoverable from the two perms.
+func encodeUnder(g *graph.Graph, perm []int) string {
+	n := g.NumVertices()
+	inv := make([]int, n)
+	for v, p := range perm {
+		inv[p] = v
+	}
+	var b strings.Builder
+	b.WriteString("n=")
+	b.WriteString(strconv.Itoa(n))
+	b.WriteByte(';')
+	for i := 0; i < n; i++ {
+		b.WriteString(labelSig(g, graph.VertexID(inv[i])))
+		b.WriteByte(';')
+	}
+	edges := make([][2]int, 0, g.NumEdges())
+	g.Edges(func(u, v graph.VertexID) bool {
+		a, c := perm[u], perm[v]
+		if a > c {
+			a, c = c, a
+		}
+		edges = append(edges, [2]int{a, c})
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		b.WriteString(strconv.Itoa(e[0]))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(e[1]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// permutations returns all permutations of [0, k) in a deterministic
+// order. k is bounded by maxCanonPerms upstream, so k <= 7.
+func permutations(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for j := i; j < k; j++ {
+			base[i], base[j] = base[j], base[i]
+			rec(i + 1)
+			base[i], base[j] = base[j], base[i]
+		}
+	}
+	rec(0)
+	return out
+}

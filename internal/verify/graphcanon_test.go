@@ -1,0 +1,169 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+)
+
+// smallGraph builds a labeled graph from an edge list.
+func smallGraph(t *testing.T, n int, labels []graph.Label, edges [][2]graph.VertexID) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v, l := range labels {
+		b.SetLabel(graph.VertexID(v), l)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// TestCanonicalGraphPermutationInvariance: isomorphic-by-construction
+// graphs (random labeled graphs and their vertex permutations) must map
+// to the same "c:" key, and the returned perms must compose into a
+// label- and edge-preserving isomorphism between the two originals.
+func TestCanonicalGraphPermutationInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		g1 := gen.WithRandomLabels(gen.ErdosRenyi(9, 14, seed), 3, seed*7)
+		g2, _ := gen.PermuteVertices(g1, gen.NewRNG(seed*13))
+
+		k1, p1 := CanonicalGraph(g1)
+		k2, p2 := CanonicalGraph(g2)
+		if !strings.HasPrefix(k1, "c:") {
+			// Too symmetric for the budget on this seed; fallback keys
+			// are not permutation invariant, nothing to assert.
+			continue
+		}
+		if k1 != k2 {
+			t.Fatalf("seed %d: canonical keys differ for isomorphic graphs:\n  %s\n  %s", seed, k1, k2)
+		}
+
+		// σ = inv(p2) ∘ p1 must be an isomorphism g1 → g2.
+		n := g1.NumVertices()
+		inv2 := make([]int, n)
+		for v, p := range p2 {
+			inv2[p] = v
+		}
+		sigma := make([]graph.VertexID, n)
+		for v := 0; v < n; v++ {
+			sigma[v] = graph.VertexID(inv2[p1[v]])
+		}
+		for v := 0; v < n; v++ {
+			if g1.Label(graph.VertexID(v)) != g2.Label(sigma[v]) {
+				t.Fatalf("seed %d: σ(%d)=%d breaks labels", seed, v, sigma[v])
+			}
+		}
+		edges1, edges2 := 0, 0
+		g1.Edges(func(u, v graph.VertexID) bool {
+			edges1++
+			if !g2.HasEdge(sigma[u], sigma[v]) {
+				t.Fatalf("seed %d: edge (%d,%d) not preserved by σ", seed, u, v)
+			}
+			return true
+		})
+		g2.Edges(func(u, v graph.VertexID) bool { edges2++; return true })
+		if edges1 != edges2 {
+			t.Fatalf("seed %d: edge counts differ: %d vs %d", seed, edges1, edges2)
+		}
+	}
+}
+
+// TestCanonicalGraphLabelSensitivity: identical topology, different
+// labels — keys must differ.
+func TestCanonicalGraphLabelSensitivity(t *testing.T) {
+	edges := [][2]graph.VertexID{{0, 1}, {1, 2}}
+	a := smallGraph(t, 3, []graph.Label{0, 1, 0}, edges)
+	b := smallGraph(t, 3, []graph.Label{0, 1, 1}, edges)
+	ka, _ := CanonicalGraph(a)
+	kb, _ := CanonicalGraph(b)
+	if ka == kb {
+		t.Fatalf("differently-labeled graphs share key %q", ka)
+	}
+}
+
+// TestCanonicalGraphDistinguishesTopology: same vertex and edge counts,
+// non-isomorphic shapes — keys must differ (the key embeds the full
+// adjacency, so this holds even on the fallback path).
+func TestCanonicalGraphDistinguishesTopology(t *testing.T) {
+	labels := []graph.Label{0, 0, 0, 0}
+	// 4-cycle vs triangle-plus-pendant: both n=4, m=4... triangle+pendant
+	// has 4 edges too: (0,1),(1,2),(2,0),(0,3).
+	cyc := smallGraph(t, 4, labels, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	tri := smallGraph(t, 4, labels, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	kc, _ := CanonicalGraph(cyc)
+	kt, _ := CanonicalGraph(tri)
+	if kc == kt {
+		t.Fatalf("non-isomorphic graphs share key %q", kc)
+	}
+}
+
+// TestCanonicalGraphPermIsValid: the returned perm is a bijection onto
+// [0, n) and encodes the graph consistently (two calls agree).
+func TestCanonicalGraphPermIsValid(t *testing.T) {
+	g := gen.WithRandomLabels(gen.ErdosRenyi(10, 18, 42), 4, 99)
+	k1, p1 := CanonicalGraph(g)
+	k2, p2 := CanonicalGraph(g)
+	if k1 != k2 {
+		t.Fatalf("non-deterministic key: %q vs %q", k1, k2)
+	}
+	seen := make([]bool, g.NumVertices())
+	for v, p := range p1 {
+		if p < 0 || p >= g.NumVertices() || seen[p] {
+			t.Fatalf("perm not a bijection at vertex %d -> %d", v, p)
+		}
+		seen[p] = true
+		if p != p2[v] {
+			t.Fatalf("non-deterministic perm at vertex %d", v)
+		}
+	}
+}
+
+// TestCanonicalGraphFallback: a large unlabeled cycle is too symmetric
+// for the bounded search (2n automorphisms but one WL color class of
+// size n, so n! orderings); the fallback must engage, stay deterministic,
+// and keep its distinguishing property against a different cycle length.
+func TestCanonicalGraphFallback(t *testing.T) {
+	mkCycle := func(n int) *graph.Graph {
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%n))
+		}
+		return b.MustBuild()
+	}
+	c50 := mkCycle(50)
+	k1, _ := CanonicalGraph(c50)
+	if !strings.HasPrefix(k1, "x:") {
+		t.Fatalf("expected fallback key for 50-cycle, got %q", k1[:2])
+	}
+	k2, _ := CanonicalGraph(mkCycle(50))
+	if k1 != k2 {
+		t.Fatal("fallback key not deterministic")
+	}
+	k3, _ := CanonicalGraph(mkCycle(49))
+	if k1 == k3 {
+		t.Fatal("different cycles share a fallback key")
+	}
+}
+
+// TestCanonicalGraphIsomorphicStars: the bounded search must resolve a
+// star's leaf symmetry (k! orderings collapse to one canonical form).
+func TestCanonicalGraphIsomorphicStars(t *testing.T) {
+	labels := []graph.Label{0, 0, 0, 0, 0, 0}
+	star1 := smallGraph(t, 6, labels, [][2]graph.VertexID{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
+	star2 := smallGraph(t, 6, labels, [][2]graph.VertexID{{3, 0}, {3, 1}, {3, 2}, {3, 4}, {3, 5}})
+	k1, _ := CanonicalGraph(star1)
+	k2, _ := CanonicalGraph(star2)
+	if !strings.HasPrefix(k1, "c:") {
+		t.Fatalf("star should canonicalize exactly, got %q", k1[:2])
+	}
+	if k1 != k2 {
+		t.Fatalf("isomorphic stars got different keys:\n  %s\n  %s", k1, k2)
+	}
+}
