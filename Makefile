@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare bench-allocs vet fmt ci verify fuzz serve-smoke experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare bench-allocs vet fmt ci verify fuzz serve-smoke trace-smoke experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,11 @@ ci:
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -v ./cmd/ceciserve
 	$(GO) test -race ./internal/service
+
+# Trace a query end to end: traceparent ingress, flight recorder,
+# Chrome export, audit flush (also run raced by CI's service-smoke job).
+trace-smoke:
+	$(GO) test -race -run 'TestServeTraceAuditFlush|TestTraced|TestRunTCPConnectedSpanTree' -v ./cmd/ceciserve ./internal/service ./internal/cluster
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

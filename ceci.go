@@ -74,6 +74,11 @@ type (
 	Tracer = obs.Tracer
 	// TracerOptions configures a Tracer (child caps, JSONL event log).
 	TracerOptions = obs.TracerOptions
+	// TraceContext is a W3C traceparent-compatible trace position
+	// (128-bit trace ID + parent span ID + sampling flag); carry it on a
+	// context via obs.ContextWithTrace to stitch a Match's spans into a
+	// caller-owned distributed trace.
+	TraceContext = obs.TraceContext
 	// Progress is one live snapshot of an enumeration.
 	Progress = obs.Progress
 	// ProgressFunc receives Progress snapshots at Options.ProgressInterval.
@@ -229,7 +234,7 @@ func MatchCtx(ctx context.Context, data, query *Graph, opts *Options) (*Matcher,
 	if o.Root != nil {
 		forcedRoot = int(*o.Root)
 	}
-	psp := o.Tracer.Start("preprocess")
+	psp := obs.StartUnder(ctx, o.Tracer, "preprocess")
 	tree, err := order.Preprocess(data, query, order.Options{
 		ForcedRoot: forcedRoot,
 		Heuristic:  o.Order,
@@ -394,7 +399,7 @@ func ForEachIncrementalCtx(ctx context.Context, data, query *Graph, opts *Option
 	if o.Root != nil {
 		forcedRoot = int(*o.Root)
 	}
-	psp := o.Tracer.Start("preprocess")
+	psp := obs.StartUnder(ctx, o.Tracer, "preprocess")
 	tree, err := order.Preprocess(data, query, order.Options{
 		ForcedRoot: forcedRoot,
 		Heuristic:  o.Order,

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"ceci/internal/buildinfo"
 	"ceci/internal/obs"
 )
 
@@ -69,8 +70,14 @@ func main() {
 		compare   = flag.String("compare", "", "compare against this baseline BENCH json; exit non-zero on regression")
 		candidate = flag.String("candidate", "", "with -compare: use this pre-recorded BENCH json instead of re-running the suite")
 		threshold = flag.Float64("threshold", 0.25, "relative regression threshold for -compare timing metrics")
+		version   = flag.Bool("version", false, "print build identity (module version, VCS revision, go version) and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *jsonOut != "" || *compare != "" {
 		err := runBenchJSON(benchJSONConfig{

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ceci"
+	"ceci/internal/buildinfo"
 	"ceci/internal/datasets"
 	"ceci/internal/gen"
 	"ceci/internal/obs"
@@ -67,6 +68,9 @@ type runConfig struct {
 	listen        string        // -listen: serve /metrics, /metrics.json, /trace, /debug/pprof
 	progressEvery time.Duration // -progress: print live progress lines to stderr
 	tracePath     string        // -trace: write the JSONL span event log here
+	traceExport   string        // -trace-export: write the span tree as Chrome trace_event JSON ("-" = stdout)
+	traceSample   float64       // -trace-sample: head-based sampling rate for this run's trace
+	version       bool          // -version: print build identity and exit
 
 	// Differential verification.
 	verify    bool   // -verify: run the cross-matcher harness instead of a query
@@ -100,6 +104,9 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "", "serve telemetry (/metrics, /metrics.json, /trace, /debug/pprof) on this address")
 	flag.DurationVar(&cfg.progressEvery, "progress", 0, "print live progress to stderr at this interval (0 = off)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write the JSONL span event log to this file")
+	flag.StringVar(&cfg.traceExport, "trace-export", "", "write the run's span tree as Chrome trace_event JSON to this file (\"-\" = stdout; load in chrome://tracing)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "head-based trace sampling rate in [0,1]; an unsampled run records no spans")
+	flag.BoolVar(&cfg.version, "version", false, "print build identity (module version, VCS revision, go version) and exit")
 	flag.BoolVar(&cfg.verify, "verify", false, "run the differential-correctness harness on seeded random pairs")
 	flag.Int64Var(&cfg.seed, "seed", 1, "first seed for -verify")
 	flag.IntVar(&cfg.pairs, "pairs", 1, "number of consecutive seeds for -verify")
@@ -123,6 +130,10 @@ func run(ctx context.Context, cfg runConfig) error {
 	}
 	if cfg.outw == nil {
 		cfg.outw = os.Stdout
+	}
+	if cfg.version {
+		fmt.Fprintln(cfg.outw, buildinfo.Get())
+		return nil
 	}
 	if cfg.verify {
 		return runVerify(cfg)
@@ -172,12 +183,19 @@ func run(ctx context.Context, cfg runConfig) error {
 		return fmt.Errorf("unknown order %q", cfg.orderName)
 	}
 
-	// Observability wiring: tracer (with optional JSONL log), live
-	// progress printing, and the telemetry endpoint.
+	// Observability wiring: tracer (with optional JSONL log), head-based
+	// sampling, live progress printing, and the telemetry endpoint. A zero
+	// sampling rate means "everything" (the config zero value must not
+	// silently disable tracing); pass a negative rate to sample nothing.
+	rate := cfg.traceSample
+	if rate == 0 {
+		rate = 1
+	}
+	sampled := obs.NewTraceContext().SampleHead(rate)
 	tropts := ceci.TracerOptions{}
 	var traceFile *os.File
 	var traceBuf *bufio.Writer
-	if cfg.tracePath != "" {
+	if cfg.tracePath != "" && sampled {
 		traceFile, err = os.Create(cfg.tracePath)
 		if err != nil {
 			return fmt.Errorf("-trace: %w", err)
@@ -185,13 +203,32 @@ func run(ctx context.Context, cfg runConfig) error {
 		traceBuf = bufio.NewWriter(traceFile)
 		tropts.JSONL = traceBuf
 	}
-	opts.Tracer = ceci.NewTracer(tropts)
+	if sampled {
+		opts.Tracer = ceci.NewTracer(tropts)
+	} else if cfg.tracePath != "" || cfg.traceExport != "" {
+		fmt.Fprintf(cfg.errw, "trace: run not sampled (-trace-sample %v); no spans recorded\n", cfg.traceSample)
+	}
+	// One deferred closure owns trace teardown so the order holds on
+	// every exit path — including SIGINT/SIGTERM and -timeout expiry:
+	// force-close any still-open spans (emitting their JSONL end events),
+	// render the Chrome export, then flush the event log. Without the
+	// EndOpen an interrupted run would drop the tail of the span log.
 	defer func() {
+		opts.Tracer.EndOpen()
+		if cfg.traceExport != "" && opts.Tracer != nil {
+			if xerr := exportChrome(cfg.traceExport, opts.Tracer, cfg.outw, cfg.errw); xerr != nil {
+				fmt.Fprintln(cfg.errw, "-trace-export:", xerr)
+			}
+		}
 		if traceBuf != nil {
 			traceBuf.Flush()
 			traceFile.Close()
 		}
 	}()
+	// The run's root span: the preprocess/build/enumerate spans opened by
+	// the layers below nest under it through the context.
+	root := opts.Tracer.Start("run")
+	ctx = obs.ContextWithSpan(ctx, root)
 
 	reg := obs.NewRegistry()
 	reg.SetCounters(opts.Stats)
@@ -230,6 +267,12 @@ func run(ctx context.Context, cfg runConfig) error {
 		rep, err := ceci.ExplainAnalyze(data, query, opts)
 		if err != nil {
 			return err
+		}
+		// The profiler's funnel digest rides the root span as attributes,
+		// so a -trace-export timeline carries the same filtering story as
+		// the EXPLAIN ANALYZE text.
+		for k, v := range rep.Profile.FunnelTotals() {
+			root.Annotate(obs.Int("funnel_"+k, v))
 		}
 		if cfg.explainAnalyze {
 			fmt.Fprintln(cfg.outw)
@@ -331,6 +374,26 @@ func run(ctx context.Context, cfg runConfig) error {
 
 // isDeadline reports whether err is a context deadline expiry.
 func isDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+
+// exportChrome renders the tracer's full span forest — stitched by
+// trace-context identity — as Chrome trace_event JSON, to a file or
+// ("-") stdout.
+func exportChrome(path string, tr *ceci.Tracer, outw, errw io.Writer) error {
+	doc, err := obs.ChromeTrace(obs.Stitch(tr.Tree()))
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if path == "-" {
+		_, err = outw.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "trace exported to %s (load in chrome://tracing or Perfetto)\n", path)
+	return nil
+}
 
 // writeStatsJSON dumps the final counter snapshot and span tree as one
 // JSON document, machine-readable from stderr.

@@ -125,14 +125,13 @@ func TestRunStatsJSON(t *testing.T) {
 	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
+	type spanNode struct {
+		Name     string     `json:"name"`
+		Children []spanNode `json:"children"`
+	}
 	var doc struct {
 		Counters map[string]int64 `json:"counters"`
-		Trace    []struct {
-			Name     string `json:"name"`
-			Children []struct {
-				Name string `json:"name"`
-			} `json:"children"`
-		} `json:"trace"`
+		Trace    []spanNode       `json:"trace"`
 	}
 	if err := json.Unmarshal(stderr.Bytes(), &doc); err != nil {
 		t.Fatalf("-stats output is not valid JSON: %v\n%s", err, stderr.String())
@@ -141,13 +140,16 @@ func TestRunStatsJSON(t *testing.T) {
 		t.Fatalf("embeddings counter = %d, want > 0", doc.Counters["embeddings"])
 	}
 	names := map[string]bool{}
-	for _, s := range doc.Trace {
-		names[s.Name] = true
-		for _, c := range s.Children {
-			names[c.Name] = true
+	var walk func([]spanNode)
+	walk = func(ns []spanNode) {
+		for _, n := range ns {
+			names[n.Name] = true
+			walk(n.Children)
 		}
 	}
-	for _, want := range []string{"preprocess", "build", "refine", "enumerate"} {
+	walk(doc.Trace)
+	// All phases nest under the single "run" root span.
+	for _, want := range []string{"run", "preprocess", "build", "refine", "enumerate"} {
 		if !names[want] {
 			t.Fatalf("span %q missing from trace: %v", want, names)
 		}

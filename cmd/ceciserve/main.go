@@ -8,8 +8,9 @@
 //	ceciserve -data graph.lg -listen :8080
 //	ceciserve -dataset yt_s -listen 127.0.0.1:8080 -cache-mb 512 -concurrency 8
 //
-// Endpoints: POST /query, GET /healthz, GET /cachez, plus the telemetry
-// routes (/metrics, /metrics.json, /trace, /debug/pprof/).
+// Endpoints: POST /query, GET /healthz, GET /cachez, GET /queryz (flight
+// recorder), GET /tracez/{traceID} (per-query Chrome trace export), plus
+// the telemetry routes (/metrics, /metrics.json, /trace, /debug/pprof/).
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops
 // accepting, in-flight queries drain (bounded by -drain), then the
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"ceci"
+	"ceci/internal/buildinfo"
 	"ceci/internal/datasets"
 	"ceci/internal/graph"
 	"ceci/internal/obs"
@@ -51,7 +54,15 @@ type serveConfig struct {
 	maxLimit    int64
 	drain       time.Duration
 
+	// Observability.
+	traceSample float64 // -trace-sample: head-based sampling rate for query traces
+	traceJSONL  string  // -trace-jsonl: write the span event log (JSONL) here
+	auditPath   string  // -audit: write one JSON line per completed query here
+	flightSize  int     // -flight: flight-recorder ring capacity
+	version     bool    // -version: print build identity and exit
+
 	errw io.Writer // defaults to os.Stderr; tests capture it
+	outw io.Writer // defaults to os.Stdout; tests capture it
 
 	// ready, when non-nil, receives the bound address once the server
 	// accepts connections (tests use it to find the ephemeral port).
@@ -71,6 +82,11 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
 	flag.Int64Var(&cfg.maxLimit, "max-limit", 10000, "max embeddings returned per request")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "head-based trace sampling rate in [0,1]; unsampled queries record no spans (negative = none)")
+	flag.StringVar(&cfg.traceJSONL, "trace-jsonl", "", "write the span event log (JSONL) to this file")
+	flag.StringVar(&cfg.auditPath, "audit", "", "append one JSON line per completed query (the flight-recorder record) to this file")
+	flag.IntVar(&cfg.flightSize, "flight", 0, "flight-recorder ring capacity (0 = default 256)")
+	flag.BoolVar(&cfg.version, "version", false, "print build identity (module version, VCS revision, go version) and exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,11 +101,56 @@ func run(ctx context.Context, cfg serveConfig) error {
 	if cfg.errw == nil {
 		cfg.errw = os.Stderr
 	}
+	if cfg.outw == nil {
+		cfg.outw = os.Stdout
+	}
+	if cfg.version {
+		fmt.Fprintln(cfg.outw, buildinfo.Get())
+		return nil
+	}
 	data, err := loadData(cfg.dataPath, cfg.dataset)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(cfg.errw, "ceciserve: data graph %v resident\n", data)
+
+	// Optional durable observability sinks: the span event log and the
+	// per-query audit log are buffered files, flushed on every shutdown
+	// path (including SIGINT/SIGTERM) by the deferred closure below.
+	tropts := obs.TracerOptions{}
+	var traceFile, auditFile *os.File
+	var traceBuf, auditBuf *bufio.Writer
+	if cfg.traceJSONL != "" {
+		traceFile, err = os.Create(cfg.traceJSONL)
+		if err != nil {
+			return fmt.Errorf("-trace-jsonl: %w", err)
+		}
+		traceBuf = bufio.NewWriter(traceFile)
+		tropts.JSONL = traceBuf
+	}
+	var audit io.Writer
+	if cfg.auditPath != "" {
+		auditFile, err = os.OpenFile(cfg.auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-audit: %w", err)
+		}
+		auditBuf = bufio.NewWriter(auditFile)
+		audit = auditBuf
+	}
+	tracer := obs.NewTracer(tropts)
+	defer func() {
+		// Force-close any spans still open when the process exits (a query
+		// cut off mid-drain), so the span log ends with matched events.
+		tracer.EndOpen()
+		if traceBuf != nil {
+			traceBuf.Flush()
+			traceFile.Close()
+		}
+		if auditBuf != nil {
+			auditBuf.Flush()
+			auditFile.Close()
+		}
+	}()
 
 	reg := obs.NewRegistry()
 	eng := service.New(data, service.Options{
@@ -102,7 +163,10 @@ func run(ctx context.Context, cfg serveConfig) error {
 		Workers:        cfg.workers,
 		Order:          order.BFSOrder,
 		Registry:       reg,
-		Tracer:         obs.NewTracer(obs.TracerOptions{}),
+		Tracer:         tracer,
+		TraceSample:    cfg.traceSample,
+		FlightSize:     cfg.flightSize,
+		Audit:          audit,
 		Stats:          &stats.Counters{},
 	})
 

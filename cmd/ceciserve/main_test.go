@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -95,5 +98,122 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down within 10s")
+	}
+}
+
+// TestServeTraceAuditFlush boots a server with the durable observability
+// sinks enabled (-audit, -trace-jsonl), runs a traced query, checks the
+// tracing endpoints, then shuts down and verifies both files were
+// flushed to disk — the SIGINT/SIGTERM flush path.
+func TestServeTraceAuditFlush(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	dir := t.TempDir()
+	auditPath := filepath.Join(dir, "audit.jsonl")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	addrc := make(chan string, 1)
+	cfg := serveConfig{
+		dataPath:   "../../testdata/fig1_data.lg",
+		listen:     "127.0.0.1:0",
+		queueDepth: 8,
+		cacheMB:    64,
+		workers:    1,
+		timeout:    30 * time.Second,
+		maxTimeout: time.Minute,
+		maxLimit:   100,
+		drain:      5 * time.Second,
+		auditPath:  auditPath,
+		traceJSONL: tracePath,
+		errw:       io.Discard,
+		ready:      func(a string) { addrc <- a },
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server not ready after 10s")
+	}
+	cl := service.NewClient("http://"+addr, nil)
+
+	h, err := cl.Healthz(ctx)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Build.GoVersion == "" {
+		t.Fatalf("healthz missing build info: %+v", h)
+	}
+
+	queryText, err := os.ReadFile("../../testdata/fig1_query.lg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Query(ctx, service.QueryRequest{Query: string(queryText)})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("response has no trace ID")
+	}
+	qz, err := cl.Queryz(ctx)
+	if err != nil {
+		t.Fatalf("queryz: %v", err)
+	}
+	if qz.Total != 1 || len(qz.Recent) != 1 || qz.Recent[0].TraceID != resp.TraceID {
+		t.Fatalf("queryz = %+v, want the one traced query", qz)
+	}
+	if _, err := cl.Tracez(ctx, resp.TraceID); err != nil {
+		t.Fatalf("tracez: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+
+	// Both sinks must be flushed and valid JSONL after shutdown.
+	for _, p := range []string{auditPath, tracePath} {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Fatalf("%s is empty after shutdown", p)
+		}
+		for _, line := range lines {
+			var doc map[string]any
+			if err := json.Unmarshal([]byte(line), &doc); err != nil {
+				t.Fatalf("%s: bad JSONL line %q: %v", p, line, err)
+			}
+		}
+	}
+	// The audit line is the flight record of our query.
+	raw, _ := os.ReadFile(auditPath)
+	if !strings.Contains(string(raw), resp.TraceID) {
+		t.Fatalf("audit log does not mention trace %s:\n%s", resp.TraceID, raw)
+	}
+}
+
+// TestServeVersion: -version prints the build identity and exits
+// without needing a data graph.
+func TestServeVersion(t *testing.T) {
+	var out strings.Builder
+	cfg := serveConfig{version: true, outw: &out, errw: io.Discard}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "go1.") {
+		t.Fatalf("version output missing go version: %q", out.String())
 	}
 }

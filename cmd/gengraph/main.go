@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"ceci/internal/buildinfo"
 	"ceci/internal/datasets"
 	"ceci/internal/gen"
 	"ceci/internal/graph"
@@ -35,8 +36,14 @@ func main() {
 		labels     = flag.Int("labels", 0, "inject this many random labels (0 = unlabeled)")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		out        = flag.String("o", "", "output path (.lg labeled, .csr binary, else edge list; default stdout edge list)")
+		version    = flag.Bool("version", false, "print build identity (module version, VCS revision, go version) and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *list {
 		for _, s := range datasets.Catalog() {

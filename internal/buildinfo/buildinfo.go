@@ -1,0 +1,78 @@
+// Package buildinfo reads the binary's own build identity — module
+// version, VCS revision, go toolchain — from the information the go
+// tool embeds at link time. It backs the -version flag on every binary
+// and the build block of the service's /healthz response, so "what
+// exactly is this server running" is answerable without shelling into
+// the deploy.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the binary's build identity.
+type Info struct {
+	// Path is the main module path ("ceci").
+	Path string `json:"path,omitempty"`
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit the binary was built from, when the
+	// build ran inside a checkout ("" otherwise, e.g. test binaries).
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339) when known.
+	Time string `json:"vcs_time,omitempty"`
+	// Modified reports uncommitted changes in the build's working tree.
+	Modified bool `json:"vcs_modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the running binary's build information. Never fails: when
+// the binary carries no build info (unusual outside tests), only
+// GoVersion is filled.
+func Get() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Path = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the -version flag format:
+//
+//	ceci (devel) rev 1b2c971… (modified) go1.24.0
+func (i Info) String() string {
+	s := i.Path
+	if s == "" {
+		s = "ceci"
+	}
+	if i.Version != "" {
+		s += " " + i.Version
+	}
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+	}
+	return fmt.Sprintf("%s %s", s, i.GoVersion)
+}

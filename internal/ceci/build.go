@@ -44,7 +44,7 @@ func BuildCtx(ctx context.Context, data *graph.Graph, tree *order.QueryTree, opt
 		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
 		defer stop()
 	}
-	ix := build(data, tree, opts, cancelled)
+	ix := build(ctx, data, tree, opts, cancelled)
 	if cancelled != nil && cancelled.Load() {
 		if err := context.Cause(ctx); err != nil {
 			return nil, err
@@ -56,11 +56,14 @@ func BuildCtx(ctx context.Context, data *graph.Graph, tree *order.QueryTree, opt
 // build is the shared construction body. cancelled, when non-nil, is
 // flipped by the context watcher; the partially built index returned
 // after an abort is discarded by BuildCtx.
-func build(data *graph.Graph, tree *order.QueryTree, opts Options, cancelled *atomic.Bool) *Index {
+func build(ctx context.Context, data *graph.Graph, tree *order.QueryTree, opts Options, cancelled *atomic.Bool) *Index {
 	if opts.RefineRounds <= 0 {
 		opts.RefineRounds = 1
 	}
-	span := opts.Tracer.Start("build",
+	// StartUnder parents the build span beneath the request's ambient
+	// span (service queries) or trace context (remote machines) when the
+	// context carries one; a bare Build stays a local root span.
+	span := obs.StartUnder(ctx, opts.Tracer, "build",
 		obs.Int("query_vertices", int64(tree.NumVertices())))
 	defer span.End()
 	ix := &Index{

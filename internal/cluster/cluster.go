@@ -202,7 +202,10 @@ func RunCtx(ctx context.Context, data, query *graph.Graph, cfg Config) (*Result,
 		return nil, err
 	}
 	cfg.wireObs()
-	runSpan := cfg.Tracer.Start("cluster-run",
+	// StartUnder joins the request's trace when the context carries an
+	// ambient span or trace context (service queries); a bare Run stays a
+	// local root span.
+	runSpan := obs.StartUnder(ctx, cfg.Tracer, "cluster-run",
 		obs.Int("machines", int64(cfg.Machines)),
 		obs.String("mode", cfg.Mode.String()))
 	defer runSpan.End()
@@ -456,8 +459,10 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	q := &reg.queues[m.id]
 
 	// Phase 1: build the local CECI over this machine's pivot partition.
+	// The build opens its own span (with expand/refine children); parenting
+	// it under this machine's span via the context keeps one tree.
 	st := &stats.Counters{}
-	bsp := m.span.Child("build")
+	buildCtx := obs.ContextWithSpan(obs.DetachTrace(m.ctx), m.span)
 	start := time.Now()
 	q.mu.Lock()
 	myPivots := append([]graph.VertexID(nil), q.pivots...)
@@ -465,7 +470,7 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	var ix *ceci.Index
 	if len(myPivots) > 0 {
 		var err error
-		ix, err = ceci.BuildCtx(m.ctx, m.data, m.tree, ceci.Options{
+		ix, err = ceci.BuildCtx(buildCtx, m.data, m.tree, ceci.Options{
 			Workers: m.cfg.WorkersPerMachine,
 			Pivots:  myPivots,
 			Stats:   st,
@@ -477,7 +482,6 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 			ix = nil
 		}
 	}
-	bsp.End()
 	if p := m.cfg.Profile; p != nil && ix != nil {
 		// The per-pivot inner matchers get no profile (their worker IDs
 		// would collide across machines); this machine's cluster
@@ -508,9 +512,13 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 	q.index = ix
 	q.mu.Unlock()
 
-	// Phase 2: enumerate local clusters, then steal.
+	// Phase 2: enumerate local clusters, then steal. The per-pivot inner
+	// matchers run under a detached context — one "enumerate" span per
+	// pivot would flood the trace — so this wrapper span is the phase's
+	// representation in the tree.
 	esp := m.span.Child("enumerate")
 	defer esp.End()
+	pivotCtx := obs.DetachTrace(m.ctx)
 	enumStart := time.Now()
 	var found, executed int64
 	runPivot := func(ix *ceci.Index, pivot graph.VertexID) {
@@ -521,7 +529,7 @@ func (m *machine) run(reg *stealRegistry, total *atomic.Int64, steals *atomic.In
 			Strategy: workload.FGD,
 			Beta:     m.cfg.Beta,
 		})
-		n, _ := matcher.CountCtx(m.ctx)
+		n, _ := matcher.CountCtx(pivotCtx)
 		found += n
 		// Live accounting: the totals and global counters advance per
 		// cluster, not at machine exit, so telemetry tracks the run.

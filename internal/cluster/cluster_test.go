@@ -1,6 +1,8 @@
 package cluster_test
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -377,5 +379,93 @@ func TestRunTCPObservability(t *testing.T) {
 	}
 	if !strings.Contains(reg.PrometheusText(), "ceci_cluster_machines 3") {
 		t.Fatal("cluster gauge source missing from scrape")
+	}
+}
+
+// TestRunTCPConnectedSpanTree: the trace context crosses the real TCP
+// wire, so every machine's spans must stitch into ONE tree under the
+// caller's trace — no orphaned roots.
+func TestRunTCPConnectedSpanTree(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerOptions{})
+	// The caller's trace identity arrives as if from an upstream service.
+	want, err := obs.ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.ContextWithTrace(context.Background(), want)
+	data := gen.Kronecker(9, 6, 3)
+	const machines = 3
+	if _, err := cluster.RunTCPCtx(ctx, data, gen.QG1(), cluster.Config{
+		Machines: machines, WorkersPerMachine: 1, Tracer: tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := obs.Stitch(tr.Tree())
+	if len(roots) != 1 {
+		names := make([]string, len(roots))
+		for i, r := range roots {
+			names[i] = r.Name
+		}
+		t.Fatalf("span forest has %d roots %v, want 1 connected tree", len(roots), names)
+	}
+	root := roots[0]
+	if root.Name != "tcp-run" {
+		t.Fatalf("root span = %q, want tcp-run", root.Name)
+	}
+	if root.TraceID != want.TraceID.String() {
+		t.Fatalf("root trace ID = %s, want caller's %s", root.TraceID, want.TraceID)
+	}
+	if root.ParentSpanID != want.SpanID.String() {
+		t.Fatalf("root parent = %s, want caller's span %s", root.ParentSpanID, want.SpanID)
+	}
+
+	// Every span in the tree belongs to the caller's trace, machine spans
+	// sit directly under the run root, and each has real work below it.
+	machineCount := 0
+	var walk func(n *obs.SpanNode, depth int)
+	walk = func(n *obs.SpanNode, depth int) {
+		if n.TraceID != want.TraceID.String() {
+			t.Fatalf("span %q left the trace: %s", n.Name, n.TraceID)
+		}
+		if n.Name == "machine" {
+			machineCount++
+			if depth != 1 {
+				t.Fatalf("machine span at depth %d, want 1", depth)
+			}
+			if len(n.Children) == 0 {
+				t.Fatalf("machine span has no child spans")
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	if machineCount != machines {
+		t.Fatalf("stitched %d machine spans, want %d", machineCount, machines)
+	}
+
+	// The connected tree renders as valid Chrome trace_event JSON.
+	doc, err := obs.ChromeTrace(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, ev := range parsed.TraceEvents {
+		byName[ev.Name]++
+	}
+	if byName["tcp-run"] != 1 || byName["machine"] != machines {
+		t.Fatalf("Chrome export event counts wrong: %v", byName)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -35,12 +36,32 @@ import (
 // process's copy, standing in for §5's in-memory mode); machines build
 // their own CECI over their partition exactly as in Run.
 func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
+	return RunTCPCtx(context.Background(), data, query, cfg)
+}
+
+// RunTCPCtx is RunTCP with a context. The context's ambient span or
+// trace identity (if any) roots the run's span tree, and the trace
+// context crosses the wire: the coordinator's welcome message carries a
+// W3C traceparent naming the run span as parent, and each machine opens
+// its "machine" span from that header via StartRemote — the same
+// stitch-by-parent-span-ID mechanism a multi-process deployment would
+// use, exercised over real sockets.
+func RunTCPCtx(ctx context.Context, data, query *graph.Graph, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
 	cfg.wireObs()
-	runSpan := cfg.Tracer.Start("tcp-run", obs.Int("machines", int64(cfg.Machines)))
+	runSpan := obs.StartUnder(ctx, cfg.Tracer, "tcp-run", obs.Int("machines", int64(cfg.Machines)))
 	defer runSpan.End()
+	// The welcome traceparent parents every machine under the run span.
+	var welcome msgWelcome
+	if tc := runSpan.Context(); tc.Valid() {
+		tc.Sampled = true
+		welcome.Traceparent = tc.Traceparent()
+	}
 	tree, err := order.Preprocess(data, query, order.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -60,9 +81,10 @@ func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
 	defer ln.Close()
 
 	coord := &coordinator{
-		queues: make([][]graph.VertexID, cfg.Machines),
-		result: &Result{Machines: make([]Ledger, cfg.Machines)},
-		stats:  cfg.Stats,
+		queues:  make([][]graph.VertexID, cfg.Machines),
+		result:  &Result{Machines: make([]Ledger, cfg.Machines)},
+		stats:   cfg.Stats,
+		welcome: welcome,
 	}
 	for i, p := range parts {
 		coord.queues[i] = append([]graph.VertexID(nil), p...)
@@ -82,9 +104,9 @@ func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			msp := runSpan.Child("machine", obs.Int("id", int64(id)))
-			defer msp.End()
-			if err := runTCPMachine(id, ln.Addr().String(), data, tree, cons, cfg, msp); err != nil {
+			// No in-process span handoff: the machine learns its trace
+			// position from the coordinator's welcome message alone.
+			if err := runTCPMachine(id, ln.Addr().String(), data, tree, cons, cfg); err != nil {
 				errs <- fmt.Errorf("machine %d: %w", id, err)
 			}
 		}(id)
@@ -125,12 +147,17 @@ func RunTCP(data, query *graph.Graph, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// Wire protocol: a machine sends hello, then pulls work until the
+// Wire protocol: a machine sends hello, receives the coordinator's
+// welcome (carrying the run's trace context), then pulls work until the
 // coordinator answers done, then reports its ledger.
 type (
 	msgHello struct{ ID int }
-	msgNext  struct{ ID int }
-	msgWork  struct {
+	// msgWelcome is the coordinator's reply to hello. Traceparent is the
+	// run's trace position as a W3C header value ("" when the run is
+	// untraced); the machine roots its span tree under it.
+	msgWelcome struct{ Traceparent string }
+	msgNext    struct{ ID int }
+	msgWork    struct {
 		Pivot  uint32
 		Stolen bool
 		Done   bool
@@ -144,12 +171,13 @@ type (
 )
 
 type coordinator struct {
-	mu     sync.Mutex
-	queues [][]graph.VertexID
-	result *Result
-	total  atomic.Int64
-	steals atomic.Int64
-	stats  *stats.Counters // live global counters (may be nil)
+	mu      sync.Mutex
+	queues  [][]graph.VertexID
+	result  *Result
+	total   atomic.Int64
+	steals  atomic.Int64
+	stats   *stats.Counters // live global counters (may be nil)
+	welcome msgWelcome      // trace context sent to every machine after hello
 }
 
 // telemetry is the mid-run gauge source for an attached obs.Registry.
@@ -205,6 +233,9 @@ func (c *coordinator) serve(conn net.Conn) error {
 	if id < 0 || id >= len(c.queues) {
 		return fmt.Errorf("bad machine id %d", id)
 	}
+	if err := enc.Encode(c.welcome); err != nil {
+		return fmt.Errorf("welcome: %w", err)
+	}
 	for {
 		var req msgNext
 		if err := dec.Decode(&req); err != nil {
@@ -254,7 +285,7 @@ func (c *coordinator) addWire(id int, bytes int64) {
 }
 
 func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree,
-	cons *auto.Constraints, cfg Config, span *obs.Span) error {
+	cons *auto.Constraints, cfg Config) error {
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -266,6 +297,18 @@ func runTCPMachine(id int, addr string, data *graph.Graph, tree *order.QueryTree
 	if err := enc.Encode(msgHello{ID: id}); err != nil {
 		return err
 	}
+	var welcome msgWelcome
+	if err := dec.Decode(&welcome); err != nil {
+		return fmt.Errorf("welcome: %w", err)
+	}
+	// The machine's span tree roots under the wire-propagated trace
+	// position — never an in-process pointer — so the stitch works the
+	// same when the machine is a separate process on another host.
+	var span *obs.Span
+	if tc, err := obs.ParseTraceparent(welcome.Traceparent); err == nil {
+		span = cfg.Tracer.StartRemote(tc, "machine", obs.Int("id", int64(id)))
+	}
+	defer span.End()
 
 	var (
 		found     int64

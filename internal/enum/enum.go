@@ -126,7 +126,7 @@ func (m *Matcher) Collect() [][]graph.VertexID {
 // may be called concurrently from multiple workers and must be
 // goroutine-safe; returning false stops the enumeration early.
 func (m *Matcher) ForEach(fn func(emb []graph.VertexID) bool) {
-	m.forEach(&control{fn: fn, limit: m.opts.Limit})
+	m.forEach(context.Background(), &control{fn: fn, limit: m.opts.Limit})
 }
 
 // ForEachCtx is ForEach under a context: when ctx is cancelled or its
@@ -152,14 +152,14 @@ func (m *Matcher) ForEachCtx(ctx context.Context, fn func(emb []graph.VertexID) 
 		})
 		defer stop()
 	}
-	m.forEach(ctl)
+	m.forEach(ctx, ctl)
 	if cancelled.Load() {
 		return context.Cause(ctx)
 	}
 	return nil
 }
 
-func (m *Matcher) forEach(ctl *control) {
+func (m *Matcher) forEach(ctx context.Context, ctl *control) {
 	units := m.units()
 	if rep := m.opts.Progress; rep != nil {
 		var card int64
@@ -187,7 +187,10 @@ func (m *Matcher) forEach(ctl *control) {
 		workers = 1
 	}
 
-	span := m.opts.Trace.Start("enumerate",
+	// StartUnder joins the request's trace when the context carries a
+	// parent span or trace context (service queries, remote machines);
+	// a bare ForEach stays a local root span.
+	span := obs.StartUnder(ctx, m.opts.Trace, "enumerate",
 		obs.String("strategy", m.opts.Strategy.String()),
 		obs.Int("units", int64(len(units))),
 		obs.Int("workers", int64(workers)))

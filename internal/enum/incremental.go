@@ -82,10 +82,13 @@ func ForEachIncrementalCtx(ctx context.Context, data *graph.Graph, tree *order.Q
 		rep.Start()
 		defer rep.Stop()
 	}
-	span := eopts.Trace.Start("enumerate-incremental",
+	span := obs.StartUnder(ctx, eopts.Trace, "enumerate-incremental",
 		obs.Int("pivots", int64(len(pivots))),
 		obs.Int("workers", int64(workers)))
 	defer span.End()
+	// Per-cluster builds below run under a detached context: one span per
+	// cluster would flood the trace, and clusterOpts.Tracer is already nil.
+	buildCtx := obs.DetachTrace(ctx)
 
 	if p := eopts.Profile; p != nil {
 		if bopts.Profile == nil {
@@ -123,7 +126,7 @@ func ForEachIncrementalCtx(ctx context.Context, data *graph.Graph, tree *order.Q
 				clusterOpts.Workers = 1
 				clusterOpts.Pivots = pivotBuf
 				clusterOpts.Tracer = nil // per-cluster builds would flood the trace
-				ix, err := ceci.BuildCtx(ctx, data, tree, clusterOpts)
+				ix, err := ceci.BuildCtx(buildCtx, data, tree, clusterOpts)
 				if err != nil {
 					return // cancelled mid-build; ctl.stop is already up
 				}

@@ -50,9 +50,16 @@ type TracerOptions struct {
 // Tracer records a tree of timed spans. Safe for concurrent use; span
 // creation from multiple workers interleaves under one lock, so it is
 // meant for phase/cluster granularity, not per-embedding events.
+//
+// Every span carries a W3C trace-context identity: root spans opened
+// with Start belong to the tracer's own trace (one random 128-bit trace
+// ID minted at NewTracer), roots opened with StartRemote join the trace
+// of a propagated TraceContext, and span IDs are allocated
+// deterministically from (trace ID, sequence number).
 type Tracer struct {
 	mu    sync.Mutex
 	opts  TracerOptions
+	tc    TraceContext // default trace identity for Start roots
 	roots []*Span
 	drops int
 	seq   int64
@@ -64,15 +71,27 @@ func NewTracer(opts TracerOptions) *Tracer {
 	if opts.MaxChildren <= 0 {
 		opts.MaxChildren = DefaultMaxChildren
 	}
-	return &Tracer{opts: opts, epoch: time.Now()}
+	return &Tracer{opts: opts, tc: NewTraceContext(), epoch: time.Now()}
 }
 
-// Span is one timed node of the trace tree. Create with Tracer.Start or
-// Span.Child; call End exactly once (extra Ends are ignored).
+// TraceID returns the tracer's own trace identity — the trace that
+// plain Start roots belong to.
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.tc.TraceID
+}
+
+// Span is one timed node of the trace tree. Create with Tracer.Start,
+// Tracer.StartRemote, or Span.Child; call End exactly once (extra Ends
+// are ignored).
 type Span struct {
 	tracer   *Tracer
 	id       int64
 	name     string
+	tc       TraceContext // this span's own (trace ID, span ID) identity
+	parentSp SpanID       // parent span ID (zero on trace roots)
 	attrs    []Attr
 	start    time.Time
 	end      time.Time
@@ -82,18 +101,42 @@ type Span struct {
 	dropped  int
 }
 
-// Start opens a top-level span.
+// Start opens a top-level span in the tracer's own trace.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
+	return t.startRoot(t.tc.TraceID, t.tc.SpanID, name, attrs)
+}
+
+// StartRemote opens a top-level span that continues a propagated trace:
+// the span joins tc's trace and records tc.SpanID as its parent, so a
+// caller on another machine (or the HTTP client that sent the
+// traceparent header) owns the span this subtree stitches under.
+// An invalid tc falls back to Start.
+func (t *Tracer) StartRemote(tc TraceContext, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if !tc.TraceID.IsZero() {
+		return t.startRoot(tc.TraceID, tc.SpanID, name, attrs)
+	}
+	return t.Start(name, attrs...)
+}
+
+func (t *Tracer) startRoot(tid TraceID, parent SpanID, name string, attrs []Attr) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.roots) >= t.opts.MaxChildren {
 		t.drops++
-		return &Span{tracer: t, detached: true, start: time.Now()}
+		t.seq++
+		return &Span{
+			tracer: t, detached: true, start: time.Now(),
+			tc:       TraceContext{TraceID: tid, SpanID: deriveSpanID(tid, t.seq), Sampled: true},
+			parentSp: parent,
+		}
 	}
-	s := t.newSpanLocked(name, 0, attrs)
+	s := t.newSpanLocked(name, tid, parent, 0, attrs)
 	t.roots = append(t.roots, s)
 	return s
 }
@@ -108,24 +151,51 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	defer t.mu.Unlock()
 	if s.detached || len(s.children) >= t.opts.MaxChildren {
 		s.dropped++
-		return &Span{tracer: t, detached: true, start: time.Now()}
+		t.seq++
+		return &Span{
+			tracer: t, detached: true, start: time.Now(),
+			tc:       TraceContext{TraceID: s.tc.TraceID, SpanID: deriveSpanID(s.tc.TraceID, t.seq), Sampled: true},
+			parentSp: s.tc.SpanID,
+		}
 	}
-	c := t.newSpanLocked(name, s.id, attrs)
+	c := t.newSpanLocked(name, s.tc.TraceID, s.tc.SpanID, s.id, attrs)
 	s.children = append(s.children, c)
 	return c
 }
 
-func (t *Tracer) newSpanLocked(name string, parent int64, attrs []Attr) *Span {
+// Context returns the span's trace position for propagation: children
+// opened downstream — in-process or across a wire — should parent under
+// this span. Safe on nil (returns the zero, invalid context).
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return s.tc
+}
+
+func (t *Tracer) newSpanLocked(name string, tid TraceID, parentSp SpanID, parent int64, attrs []Attr) *Span {
 	t.seq++
-	s := &Span{tracer: t, id: t.seq, name: name, attrs: attrs, start: time.Now()}
-	t.emitLocked(map[string]any{
+	s := &Span{
+		tracer: t, id: t.seq, name: name, attrs: attrs, start: time.Now(),
+		tc:       TraceContext{TraceID: tid, SpanID: deriveSpanID(tid, t.seq), Sampled: true},
+		parentSp: parentSp,
+	}
+	ev := map[string]any{
 		"ev":     "start",
 		"id":     s.id,
 		"parent": parent,
 		"name":   name,
 		"t_us":   s.start.Sub(t.epoch).Microseconds(),
 		"attrs":  attrMap(attrs),
-	})
+	}
+	if !tid.IsZero() {
+		ev["trace"] = tid.String()
+		ev["span"] = s.tc.SpanID.String()
+		if !parentSp.IsZero() {
+			ev["span_parent"] = parentSp.String()
+		}
+	}
+	t.emitLocked(ev)
 	return s
 }
 
@@ -137,11 +207,15 @@ func (s *Span) End() {
 	t := s.tracer
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	s.endLocked(t, time.Now())
+}
+
+func (s *Span) endLocked(t *Tracer, now time.Time) {
 	if s.ended {
 		return
 	}
 	s.ended = true
-	s.end = time.Now()
+	s.end = now
 	if s.detached {
 		return
 	}
@@ -151,6 +225,29 @@ func (s *Span) End() {
 		"t_us":   s.end.Sub(t.epoch).Microseconds(),
 		"dur_us": s.end.Sub(s.start).Microseconds(),
 	})
+}
+
+// EndOpen force-closes every still-open span, children before parents,
+// emitting their end events to the JSONL log. Called on
+// SIGINT/SIGTERM so an interrupted run's span log carries a terminated
+// record for every span instead of dropping the open tail.
+func (t *Tracer) EndOpen() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for _, c := range s.children {
+			walk(c)
+		}
+		s.endLocked(t, now)
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
 }
 
 // Annotate appends attributes to an already-open span.
@@ -186,13 +283,20 @@ func attrMap(attrs []Attr) map[string]string {
 }
 
 // SpanNode is an immutable snapshot of one span, JSON-marshalable for
-// the telemetry endpoint and the cecirun -stats dump.
+// the telemetry endpoint, the flight recorder, and the trace exporters.
 type SpanNode struct {
-	Name    string            `json:"name"`
-	Attrs   map[string]string `json:"attrs,omitempty"`
-	StartUS int64             `json:"start_us"`
-	DurUS   int64             `json:"dur_us"`
-	Running bool              `json:"running,omitempty"`
+	Name string `json:"name"`
+	// TraceID/SpanID/ParentSpanID are the span's W3C trace-context
+	// identity as lowercase hex. ParentSpanID is empty on trace roots;
+	// on a remote-parented root (StartRemote) it names a span owned by
+	// another tracer, which is how Stitch reconnects distributed trees.
+	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	StartUS      int64             `json:"start_us"`
+	DurUS        int64             `json:"dur_us"`
+	Running      bool              `json:"running,omitempty"`
 	// Dropped counts children beyond the MaxChildren cap.
 	Dropped  int         `json:"dropped_children,omitempty"`
 	Children []*SpanNode `json:"children,omitempty"`
@@ -221,6 +325,13 @@ func (s *Span) snapshotLocked(t *Tracer, now time.Time) *SpanNode {
 		StartUS: s.start.Sub(t.epoch).Microseconds(),
 		Dropped: s.dropped,
 	}
+	if !s.tc.TraceID.IsZero() {
+		n.TraceID = s.tc.TraceID.String()
+		n.SpanID = s.tc.SpanID.String()
+		if !s.parentSp.IsZero() {
+			n.ParentSpanID = s.parentSp.String()
+		}
+	}
 	if s.ended {
 		n.DurUS = s.end.Sub(s.start).Microseconds()
 	} else {
@@ -231,6 +342,82 @@ func (s *Span) snapshotLocked(t *Tracer, now time.Time) *SpanNode {
 		n.Children = append(n.Children, c.snapshotLocked(t, now))
 	}
 	return n
+}
+
+// Collect snapshots every root span belonging to trace tid and stitches
+// remote-parented roots under their parents (see Stitch). The spans
+// remain in the tracer; use Take to also remove them.
+func (t *Tracer) Collect(tid TraceID) []*SpanNode {
+	return t.gather(tid, false)
+}
+
+// Take is Collect plus removal: the returned trees are detached from
+// the tracer's live forest, so a long-running server that snapshots
+// each completed query into its flight recorder does not accumulate
+// spans without bound.
+func (t *Tracer) Take(tid TraceID) []*SpanNode {
+	return t.gather(tid, true)
+}
+
+func (t *Tracer) gather(tid TraceID, remove bool) []*SpanNode {
+	if t == nil || tid.IsZero() {
+		return nil
+	}
+	t.mu.Lock()
+	now := time.Now()
+	var nodes []*SpanNode
+	var keep []*Span
+	for _, r := range t.roots {
+		if r.tc.TraceID == tid {
+			nodes = append(nodes, r.snapshotLocked(t, now))
+			if remove {
+				continue
+			}
+		}
+		keep = append(keep, r)
+	}
+	if remove {
+		t.roots = keep
+	}
+	t.mu.Unlock()
+	return Stitch(nodes)
+}
+
+// Stitch reconnects a forest of span trees by trace-context identity:
+// any top-level tree whose root names a ParentSpanID that exists
+// elsewhere in the forest is moved under that parent. This is how
+// spans that crossed a process or machine boundary — remote roots
+// opened from a propagated traceparent — rejoin the request's tree.
+// Trees whose parent is not present (the parent lives in another
+// process whose spans were not gathered here) stay top-level.
+func Stitch(nodes []*SpanNode) []*SpanNode {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	byID := make(map[string]*SpanNode)
+	var index func(n *SpanNode)
+	index = func(n *SpanNode) {
+		if n.SpanID != "" {
+			byID[n.SpanID] = n
+		}
+		for _, c := range n.Children {
+			index(c)
+		}
+	}
+	for _, n := range nodes {
+		index(n)
+	}
+	var out []*SpanNode
+	for _, n := range nodes {
+		if n.ParentSpanID != "" {
+			if parent, ok := byID[n.ParentSpanID]; ok && parent != n {
+				parent.Children = append(parent.Children, n)
+				continue
+			}
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // PhaseDurations aggregates span durations by name across the whole

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		tc := NewTraceContext()
+		tc.SpanID = deriveSpanID(tc.TraceID, int64(i))
+		tc.Sampled = i%2 == 0
+		got, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", tc.Traceparent(), err)
+		}
+		if got != tc {
+			t.Fatalf("round-trip mismatch: sent %+v got %+v", tc, got)
+		}
+	}
+}
+
+func TestTraceparentHeaderForm(t *testing.T) {
+	tc := NewTraceContext()
+	tc.SpanID = deriveSpanID(tc.TraceID, 1)
+	tc.Sampled = true
+	tp := tc.Traceparent()
+	if len(tp) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(tp), tp)
+	}
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 || parts[3] != "01" {
+		t.Fatalf("bad header shape: %q", tp)
+	}
+	if tp != strings.ToLower(tp) {
+		t.Fatalf("traceparent must be lowercase hex: %q", tp)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, err := ParseTraceparent(valid); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	// A future version with trailing fields must still parse.
+	if _, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Fatalf("forward-compatible version rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"truncated", valid[:54]},
+		{"zero trace ID", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span ID", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"reserved version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex trace ID", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"non-hex span ID", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+		{"uppercase trace ID", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"uppercase span ID", "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01"},
+		{"wrong separators", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01"},
+		{"version 00 with trailing", valid + "-extra"},
+		{"trailing junk without separator", valid + "junk"},
+	}
+	for _, tc := range cases {
+		if got, err := ParseTraceparent(tc.in); err == nil {
+			t.Errorf("%s: %q accepted as %+v, want error", tc.name, tc.in, got)
+		} else if got.Valid() {
+			t.Errorf("%s: error path leaked a valid context %+v", tc.name, got)
+		}
+	}
+}
+
+func TestNewTraceContextUnique(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 256; i++ {
+		tc := NewTraceContext()
+		if tc.TraceID.IsZero() {
+			t.Fatal("minted a zero trace ID")
+		}
+		if !tc.Sampled {
+			t.Fatal("fresh root context must default to sampled")
+		}
+		if seen[tc.TraceID] {
+			t.Fatalf("duplicate trace ID %v", tc.TraceID)
+		}
+		seen[tc.TraceID] = true
+	}
+}
+
+func TestSampleHead(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.SampleHead(1) || !tc.SampleHead(2) {
+		t.Fatal("rate >= 1 must sample everything")
+	}
+	if tc.SampleHead(0) || tc.SampleHead(-1) {
+		t.Fatal("rate <= 0 must sample nothing")
+	}
+	// The decision comes from the ID, so it is reproducible.
+	for i := 0; i < 16; i++ {
+		if tc.SampleHead(0.5) != tc.SampleHead(0.5) {
+			t.Fatal("SampleHead is not deterministic for a fixed ID")
+		}
+	}
+	// At rate 0.5 a few hundred fresh IDs must land on both sides.
+	hit := 0
+	for i := 0; i < 400; i++ {
+		if NewTraceContext().SampleHead(0.5) {
+			hit++
+		}
+	}
+	if hit < 100 || hit > 300 {
+		t.Fatalf("rate 0.5 sampled %d/400, far from half", hit)
+	}
+}
+
+func TestDeriveSpanIDDeterministic(t *testing.T) {
+	tc := NewTraceContext()
+	if deriveSpanID(tc.TraceID, 7) != deriveSpanID(tc.TraceID, 7) {
+		t.Fatal("same (trace, seq) must derive the same span ID")
+	}
+	if deriveSpanID(tc.TraceID, 1) == deriveSpanID(tc.TraceID, 2) {
+		t.Fatal("distinct sequence numbers collided")
+	}
+	if deriveSpanID(tc.TraceID, 3).IsZero() {
+		t.Fatal("derived span ID is the invalid zero value")
+	}
+}
+
+func TestStartUnderPrecedence(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+
+	// Bare context: a plain root in the tracer's own trace.
+	s := StartUnder(context.Background(), tr, "a")
+	if s == nil || s.Context().TraceID != tr.TraceID() {
+		t.Fatalf("bare context should open a root in the tracer's own trace, got %+v", s.Context())
+	}
+	s.End()
+
+	// Ambient trace identity: a remote-parented root carrying the ID.
+	tc := NewTraceContext()
+	tc.SpanID = deriveSpanID(tc.TraceID, 1)
+	ctx := ContextWithTrace(context.Background(), tc)
+	s = StartUnder(ctx, tr, "b")
+	if got := s.Context().TraceID; got != tc.TraceID {
+		t.Fatalf("remote root trace ID = %v, want %v", got, tc.TraceID)
+	}
+	s.End()
+
+	// Ambient parent span wins over the trace identity.
+	parent := tr.StartRemote(tc, "parent")
+	ctx = ContextWithSpan(ctx, parent)
+	child := StartUnder(ctx, tr, "c")
+	if child.Context().TraceID != tc.TraceID {
+		t.Fatal("child did not inherit the parent's trace")
+	}
+	child.End()
+	parent.End()
+
+	// DetachTrace clears both, so spans below fall back to the tracer's
+	// own trace instead of joining the request's.
+	s = StartUnder(DetachTrace(ctx), tr, "d")
+	if got := s.Context().TraceID; got == tc.TraceID || got != tr.TraceID() {
+		t.Fatalf("span under DetachTrace joined trace %v, want local %v", got, tr.TraceID())
+	}
+	s.End()
+}
+
+func TestStartUnderNilTracer(t *testing.T) {
+	// A nil tracer must stay inert through every precedence branch.
+	var tr *Tracer
+	if s := StartUnder(context.Background(), tr, "x"); s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	tc := NewTraceContext()
+	tc.SpanID = deriveSpanID(tc.TraceID, 1)
+	ctx := ContextWithTrace(context.Background(), tc)
+	s := StartUnder(ctx, tr, "y")
+	s.Annotate(Int("k", 1))
+	s.End()
+}

@@ -7,7 +7,23 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"ceci/internal/obs"
 )
+
+// outgoingTrace resolves the trace position a request should propagate:
+// the ambient span's own identity when the caller has one open (its
+// spans become the server subtree's parent), else the ambient trace
+// context, else invalid (no header sent).
+func outgoingTrace(ctx context.Context) obs.TraceContext {
+	if s := obs.SpanFromContext(ctx); s != nil {
+		tc := s.Context()
+		tc.Sampled = true
+		return tc
+	}
+	tc, _ := obs.TraceFromContext(ctx)
+	return tc
+}
 
 // Client is a thin typed client for the service HTTP API, used by
 // ceciserve's tests and the CI smoke job.
@@ -54,6 +70,10 @@ func (e *APIError) Unwrap() error {
 
 // Query posts a match request. On a 504 the returned *QueryResponse is
 // non-nil (partial counts) alongside the *APIError.
+//
+// When ctx carries a trace identity (obs.ContextWithTrace) or an open
+// span (obs.ContextWithSpan), it crosses the wire as a W3C traceparent
+// header, so the server's spans stitch into the caller's trace.
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -64,6 +84,9 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if tc := outgoingTrace(ctx); tc.Valid() {
+		hreq.Header.Set("traceparent", tc.Traceparent())
+	}
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -86,6 +109,38 @@ func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Queryz fetches the flight-recorder document: recent and slowest
+// completed queries.
+func (c *Client) Queryz(ctx context.Context) (*QueryzResponse, error) {
+	var out QueryzResponse
+	if err := c.getJSON(ctx, "/queryz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tracez fetches a sampled query's span tree as Chrome trace_event
+// JSON bytes (load the result in chrome://tracing or Perfetto).
+func (c *Client) Tracez(ctx context.Context, traceID string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/tracez/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: hresp.StatusCode, Message: string(body)}
+	}
+	return body, nil
 }
 
 // Cachez fetches the index-cache statistics.

@@ -1,15 +1,15 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
+	"ceci/internal/buildinfo"
 	"ceci/internal/graph"
+	"ceci/internal/obs"
 )
 
 // QueryRequest is the wire form of POST /query. The pattern graph comes
@@ -40,22 +40,46 @@ type QueryResponse struct {
 	Partial    bool               `json:"partial,omitempty"`
 	BuildMS    float64            `json:"build_ms"`
 	EnumMS     float64            `json:"enum_ms"`
-	Error      string             `json:"error,omitempty"`
+	// TraceID keys this query's record in /queryz and, when the query
+	// was sampled, its span tree at /tracez/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
+	// QueryHash is the query's isomorphism-class identity.
+	QueryHash string `json:"query_hash,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // HealthResponse is the wire form of GET /healthz.
 type HealthResponse struct {
-	Status       string `json:"status"`
-	DataVertices int    `json:"data_vertices"`
-	DataEdges    int    `json:"data_edges"`
-	DataLabels   int    `json:"data_labels"`
+	Status       string         `json:"status"`
+	DataVertices int            `json:"data_vertices"`
+	DataEdges    int            `json:"data_edges"`
+	DataLabels   int            `json:"data_labels"`
+	Build        buildinfo.Info `json:"build"`
+}
+
+// QueryzResponse is the wire form of GET /queryz: the flight recorder's
+// view of recent and slowest queries.
+type QueryzResponse struct {
+	// Total counts every query ever recorded, including those evicted
+	// from the ring.
+	Total uint64 `json:"total"`
+	// Recent lists retained queries, newest first.
+	Recent []obs.QueryRecord `json:"recent"`
+	// Slowest lists the K slowest queries ever, slowest first.
+	Slowest []obs.QueryRecord `json:"slowest"`
 }
 
 // Handler returns the engine's HTTP API:
 //
-//	POST /query    run a match request (JSON in/out)
-//	GET  /healthz  liveness + data graph shape
-//	GET  /cachez   index cache statistics
+//	POST /query             run a match request (JSON in/out; accepts and
+//	                        emits W3C traceparent headers)
+//	GET  /healthz           liveness + data graph shape + build identity
+//	GET  /cachez            index cache statistics
+//	GET  /queryz            flight recorder: recent + slowest queries
+//	                        (?format=text for an aligned table)
+//	GET  /tracez/{traceID}  a sampled query's span tree as Chrome
+//	                        trace_event JSON (?format=jsonl for the
+//	                        compact per-span JSONL form)
 //
 // When the engine has a Registry, its telemetry routes (/metrics,
 // /metrics.json, /trace, /debug/pprof/) are mounted as the fallback.
@@ -64,6 +88,8 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("POST /query", e.handleQuery)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /cachez", e.handleCachez)
+	mux.HandleFunc("GET /queryz", e.handleQueryz)
+	mux.HandleFunc("GET /tracez/{traceID}", e.handleTracez)
 	if reg := e.opts.Registry; reg != nil {
 		mux.Handle("/", reg.Handler())
 	}
@@ -88,7 +114,16 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Timeout:   time.Duration(wire.TimeoutMS) * time.Millisecond,
 		CountOnly: wire.CountOnly,
 	}
-	resp, err := e.Query(r.Context(), req)
+	// W3C trace-context ingress: a valid traceparent joins this query to
+	// the caller's trace (keeping the caller's sampling decision); a
+	// malformed or absent header restarts the trace, per the spec.
+	ctx := r.Context()
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if tc, perr := obs.ParseTraceparent(tp); perr == nil {
+			ctx = obs.ContextWithTrace(ctx, tc)
+		}
+	}
+	resp, err := e.Query(ctx, req)
 	wire2 := QueryResponse{}
 	if resp != nil {
 		wire2 = QueryResponse{
@@ -98,30 +133,26 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Partial:    resp.Partial,
 			BuildMS:    float64(resp.BuildTime) / float64(time.Millisecond),
 			EnumMS:     float64(resp.EnumTime) / float64(time.Millisecond),
+			TraceID:    resp.TraceID,
+			QueryHash:  resp.QueryHash,
+		}
+		// Egress: the response traceparent names the request's root span,
+		// so a calling service can stitch our subtree into its own trace.
+		if resp.Trace.Valid() {
+			w.Header().Set("traceparent", resp.Trace.Traceparent())
 		}
 	}
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, wire2)
-	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+	status := statusFor(err)
+	if err != nil {
 		wire2.Error = err.Error()
-		writeJSON(w, http.StatusTooManyRequests, wire2)
-	case errors.Is(err, ErrBadQuery):
-		wire2.Error = err.Error()
-		writeJSON(w, http.StatusBadRequest, wire2)
-	case errors.Is(err, context.DeadlineExceeded):
-		wire2.Error = err.Error()
-		wire2.Partial = true
-		writeJSON(w, http.StatusGatewayTimeout, wire2)
-	case errors.Is(err, context.Canceled):
-		// Client went away; the status is moot but 499-style is closest.
-		wire2.Error = err.Error()
-		writeJSON(w, 499, wire2)
-	default:
-		wire2.Error = err.Error()
-		writeJSON(w, http.StatusInternalServerError, wire2)
+		if status == 429 {
+			w.Header().Set("Retry-After", "1")
+		}
+		if status == 504 {
+			wire2.Partial = true
+		}
 	}
+	writeJSON(w, status, wire2)
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -130,7 +161,53 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		DataVertices: e.data.NumVertices(),
 		DataEdges:    e.data.NumEdges(),
 		DataLabels:   e.data.NumLabels(),
+		Build:        buildinfo.Get(),
 	})
+}
+
+// handleQueryz serves the flight recorder: JSON by default, an aligned
+// text table with ?format=text.
+func (e *Engine) handleQueryz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, e.flight.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryzResponse{
+		Total:   e.flight.Total(),
+		Recent:  e.flight.Recent(),
+		Slowest: e.flight.Slowest(),
+	})
+}
+
+// handleTracez serves one query's span tree by trace ID: Chrome
+// trace_event JSON by default (load in chrome://tracing or Perfetto),
+// the compact per-span JSONL form with ?format=jsonl.
+func (e *Engine) handleTracez(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("traceID")
+	rec, ok := e.flight.Find(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "trace " + id + " not found (evicted, or never ran here)"})
+		return
+	}
+	if len(rec.Spans) == 0 {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "trace " + id + " was not sampled: no spans recorded"})
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		obs.WriteSpanJSONL(w, rec.Spans)
+		return
+	}
+	doc, err := obs.ChromeTrace(rec.Spans)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
 }
 
 func (e *Engine) handleCachez(w http.ResponseWriter, _ *http.Request) {

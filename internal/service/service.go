@@ -2,8 +2,12 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,9 +60,28 @@ type Options struct {
 	// Registry, when non-nil, receives cache/admission gauges and
 	// latency histograms (served at /metrics under the HTTP handler).
 	Registry *obs.Registry
-	// Tracer, when non-nil, records one span per request with
-	// cache-hit/build/enumerate children.
+	// Tracer, when non-nil, records one span per sampled request with
+	// build/enumerate children; completed trees move into the flight
+	// recorder (and out of the tracer) when the query finishes.
 	Tracer *obs.Tracer
+	// TraceSample is the head-based sampling rate for requests that
+	// arrive without a traceparent: 1 samples every query, 0.01 one in a
+	// hundred. The zero value means 1 (sample everything); pass a
+	// negative rate to disable span recording entirely. Requests that
+	// carry a traceparent keep the caller's sampling decision.
+	TraceSample float64
+	// FlightSize is the flight recorder's ring capacity (default 256).
+	// The recorder itself is always on — it costs one small struct per
+	// completed query regardless of sampling.
+	FlightSize int
+	// SlowestK is the flight recorder's slowest-query index depth
+	// (default 16).
+	SlowestK int
+	// Audit, when non-nil, receives one JSON line per completed query
+	// (the flight-recorder record, spans omitted) — a structured audit
+	// log that survives ring eviction. Writes are serialized by the
+	// engine; pass a buffered writer for high request rates.
+	Audit io.Writer
 	// Stats, when non-nil, accumulates build/enumeration counters
 	// across all requests.
 	Stats *stats.Counters
@@ -85,6 +108,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
 	}
 	return o
 }
@@ -117,6 +143,16 @@ type Response struct {
 	Partial    bool
 	BuildTime  time.Duration
 	EnumTime   time.Duration
+	// TraceID is the query's trace identity as 32 hex digits — the key
+	// into /queryz and /tracez/{traceID}. Set on every response, sampled
+	// or not.
+	TraceID string
+	// Trace is the request root span's trace position, valid only when
+	// the query was sampled; HTTP emits it as the response traceparent.
+	Trace obs.TraceContext
+	// QueryHash identifies the query's isomorphism class (the index
+	// cache key, shortened) — equal for isomorphic patterns.
+	QueryHash string
 }
 
 // buildCall is the singleflight slot for one cache key: concurrent
@@ -138,6 +174,10 @@ type Engine struct {
 
 	buildMu  sync.Mutex
 	building map[string]*buildCall
+
+	flight  *obs.FlightRecorder
+	auditMu sync.Mutex
+	audit   *json.Encoder // optional JSONL audit log (nil when unset)
 
 	// Admission/serving counters, exposed as ceci_service_* gauges.
 	requests  atomic.Int64
@@ -163,8 +203,12 @@ func New(data *graph.Graph, opts Options) *Engine {
 		sem:       make(chan struct{}, o.MaxConcurrent),
 		queue:     make(chan struct{}, o.QueueDepth),
 		building:  make(map[string]*buildCall),
+		flight:    obs.NewFlightRecorder(o.FlightSize, o.SlowestK),
 		latency:   obs.NewHistogram(obs.LatencyBuckets()),
 		queueWait: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+	if o.Audit != nil {
+		e.audit = json.NewEncoder(o.Audit)
 	}
 	if reg := o.Registry; reg != nil {
 		reg.SetHistogram("service_latency_seconds", e.latency)
@@ -203,6 +247,10 @@ func New(data *graph.Graph, opts Options) *Engine {
 
 // Data returns the resident data graph.
 func (e *Engine) Data() *graph.Graph { return e.data }
+
+// Flight returns the engine's flight recorder (never nil) — the last N
+// completed queries plus the slowest-K index, served at /queryz.
+func (e *Engine) Flight() *obs.FlightRecorder { return e.flight }
 
 // CacheStats snapshots the index cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
@@ -244,14 +292,34 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	span := e.opts.Tracer.Start("service-query",
-		obs.Int("query_vertices", int64(req.Query.NumVertices())))
-	defer span.End()
+	// Trace identity: adopt the caller's (injected from a traceparent
+	// header by the HTTP layer, or set by a Go caller via
+	// obs.ContextWithTrace) or mint a fresh one. Every query gets a trace
+	// ID — the flight recorder keys on it — but spans are recorded only
+	// for sampled queries, so always-on tracing stays cheap.
+	tc, hasTC := obs.TraceFromContext(ctx)
+	if !hasTC || tc.TraceID.IsZero() {
+		tc = obs.NewTraceContext()
+		tc.Sampled = tc.SampleHead(e.opts.TraceSample)
+	}
+	sampled := tc.Sampled && e.opts.Tracer != nil
+	var span *obs.Span
+	if sampled {
+		span = e.opts.Tracer.StartRemote(tc, "service-query",
+			obs.Int("query_vertices", int64(req.Query.NumVertices())))
+		ctx = obs.ContextWithSpan(ctx, span)
+	} else {
+		// Keep the inner layers from opening remote spans off the raw
+		// trace context of an unsampled request.
+		ctx = obs.DetachTrace(ctx)
+	}
 
-	if err := e.admit(ctx, span); err != nil {
+	waited, err := e.admit(ctx, span)
+	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			e.deadlines.Add(1)
 		}
+		e.finish(tc, span, req, nil, err, start, waited)
 		return nil, err
 	}
 	e.inflight.Add(1)
@@ -264,23 +332,94 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		e.deadlines.Add(1)
 	}
+	if resp != nil {
+		resp.TraceID = tc.TraceID.String()
+		if span != nil {
+			resp.Trace = span.Context()
+			resp.Trace.Sampled = true
+		}
+	}
+	e.finish(tc, span, req, resp, err, start, waited)
 	return resp, err
 }
 
+// statusFor maps an engine error to the HTTP-style outcome code shared
+// by the HTTP layer and the flight recorder.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return 200
+	case errors.Is(err, ErrOverloaded):
+		return 429
+	case errors.Is(err, ErrBadQuery):
+		return 400
+	case errors.Is(err, context.DeadlineExceeded):
+		return 504
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return 500
+	}
+}
+
+// finish closes the query's span tree, moves it out of the tracer, and
+// records the completed query in the flight recorder (and the audit
+// log, when configured). Called exactly once per admitted-or-shed
+// query; trace bookkeeping happens only here, at the request boundary,
+// never inside the enumeration hot path.
+func (e *Engine) finish(tc obs.TraceContext, span *obs.Span, req Request,
+	resp *Response, err error, start time.Time, waited time.Duration) {
+
+	rec := obs.QueryRecord{
+		TraceID:         tc.TraceID.String(),
+		Time:            start,
+		QueryVertices:   req.Query.NumVertices(),
+		Outcome:         statusFor(err),
+		AdmissionWaitUS: waited.Microseconds(),
+		TotalUS:         time.Since(start).Microseconds(),
+		Sampled:         span != nil,
+	}
+	if resp != nil {
+		rec.QueryHash = resp.QueryHash
+		rec.CacheHit = resp.CacheHit
+		rec.Partial = resp.Partial
+		rec.Embeddings = resp.Count
+		rec.BuildUS = resp.BuildTime.Microseconds()
+		rec.EnumUS = resp.EnumTime.Microseconds()
+	}
+	if span != nil {
+		span.Annotate(obs.Int("outcome", int64(rec.Outcome)),
+			obs.Int("admission_wait_us", rec.AdmissionWaitUS))
+		span.End()
+		// Take (not Collect): completed trees leave the tracer so a
+		// long-running server's span forest stays bounded by the ring.
+		rec.Spans = e.opts.Tracer.Take(tc.TraceID)
+	}
+	e.flight.Record(rec)
+	if e.audit != nil {
+		audit := rec
+		audit.Spans = nil // the audit log is one line per query, not a span dump
+		e.auditMu.Lock()
+		e.audit.Encode(audit)
+		e.auditMu.Unlock()
+	}
+}
+
 // admit acquires a worker slot, parking in the bounded queue while the
-// pool is full. Returns ErrOverloaded when the queue is full too, or the
-// context's error if the deadline fires while waiting.
-func (e *Engine) admit(ctx context.Context, span *obs.Span) error {
+// pool is full. Returns the time spent waiting, and ErrOverloaded when
+// the queue is full too, or the context's error if the deadline fires
+// while waiting.
+func (e *Engine) admit(ctx context.Context, span *obs.Span) (time.Duration, error) {
 	select {
 	case e.sem <- struct{}{}:
-		return nil // fast path: free worker slot
+		return 0, nil // fast path: free worker slot
 	default:
 	}
 	select {
 	case e.queue <- struct{}{}:
 	default:
 		e.shed.Add(1)
-		return ErrOverloaded
+		return 0, ErrOverloaded
 	}
 	e.waiting.Add(1)
 	waitStart := time.Now()
@@ -293,25 +432,30 @@ func (e *Engine) admit(ctx context.Context, span *obs.Span) error {
 	defer wsp.End()
 	select {
 	case e.sem <- struct{}{}:
-		return nil
+		return time.Since(waitStart), nil
 	case <-ctx.Done():
-		return context.Cause(ctx)
+		return time.Since(waitStart), context.Cause(ctx)
 	}
 }
 
-// run resolves the index and enumerates. Called with a worker slot held.
+// run resolves the index and enumerates. Called with a worker slot
+// held. The build and enumeration layers open their own spans beneath
+// the request span they find on ctx, so the trace shows the real
+// phases (build → expand/refine, enumerate) rather than wrappers.
 func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Response, error) {
-	ent, perm, hit, buildTime, err := e.getIndex(ctx, req.Query, span)
+	ent, perm, hit, buildTime, key, err := e.getIndex(ctx, req.Query)
+	qh := queryHash(key)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			// Build cut short by the deadline: report what we know.
-			return &Response{Partial: true, BuildTime: buildTime}, context.Cause(ctx)
+			return &Response{Partial: true, BuildTime: buildTime, QueryHash: qh}, context.Cause(ctx)
 		}
 		return nil, err
 	}
-	span.Annotate(obs.String("cache_hit", fmt.Sprint(hit)))
+	span.Annotate(obs.String("cache_hit", fmt.Sprint(hit)),
+		obs.String("query_hash", qh))
 
-	resp := &Response{CacheHit: hit, BuildTime: buildTime}
+	resp := &Response{CacheHit: hit, BuildTime: buildTime, QueryHash: qh}
 
 	// σ maps incoming query vertices to stored-query vertices through
 	// the canonical form: embeddings from the cached index are indexed
@@ -338,7 +482,6 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Respons
 		Stats:   e.opts.Stats,
 	})
 
-	esp := span.Child("enumerate")
 	enumStart := time.Now()
 	var count atomic.Int64
 	var mu sync.Mutex
@@ -361,7 +504,6 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Respons
 		return true
 	})
 	resp.EnumTime = time.Since(enumStart)
-	esp.End()
 
 	resp.Count = count.Load()
 	resp.Embeddings = page
@@ -374,12 +516,14 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Respons
 
 // getIndex returns the cache entry for the query's isomorphism class,
 // building (once, via singleflight) on a miss. perm maps the incoming
-// query's vertices to canonical positions.
-func (e *Engine) getIndex(ctx context.Context, q *graph.Graph, span *obs.Span) (ent *entry, perm []int, hit bool, buildTime time.Duration, err error) {
-	key, perm := verify.CanonicalGraph(q)
+// query's vertices to canonical positions; key is the canonical cache
+// key (returned even on failure, so the flight record keeps the query's
+// identity).
+func (e *Engine) getIndex(ctx context.Context, q *graph.Graph) (ent *entry, perm []int, hit bool, buildTime time.Duration, key string, err error) {
+	key, perm = verify.CanonicalGraph(q)
 	for {
 		if ent, ok := e.cache.get(key); ok {
-			return ent, perm, true, 0, nil
+			return ent, perm, true, 0, key, nil
 		}
 		e.buildMu.Lock()
 		if call, ok := e.building[key]; ok {
@@ -393,22 +537,22 @@ func (e *Engine) getIndex(ctx context.Context, q *graph.Graph, span *obs.Span) (
 					if isCtxErr(call.err) && ctx.Err() == nil {
 						continue
 					}
-					return nil, nil, false, 0, call.err
+					return nil, nil, false, 0, key, call.err
 				}
-				return call.entry, perm, false, 0, nil
+				return call.entry, perm, false, 0, key, nil
 			case <-ctx.Done():
-				return nil, nil, false, 0, context.Cause(ctx)
+				return nil, nil, false, 0, key, context.Cause(ctx)
 			}
 		}
 		call := &buildCall{done: make(chan struct{})}
 		e.building[key] = call
 		e.buildMu.Unlock()
 
-		bsp := span.Child("build-index")
+		// The build opens its own span (expand/refine children) beneath
+		// the request span riding ctx; no wrapper span here.
 		buildStart := time.Now()
 		call.entry, call.err = e.buildEntry(ctx, q, key, perm)
 		buildTime = time.Since(buildStart)
-		bsp.End()
 
 		e.buildMu.Lock()
 		delete(e.building, key)
@@ -416,10 +560,20 @@ func (e *Engine) getIndex(ctx context.Context, q *graph.Graph, span *obs.Span) (
 		close(call.done)
 
 		if call.err != nil {
-			return nil, nil, false, buildTime, call.err
+			return nil, nil, false, buildTime, key, call.err
 		}
-		return call.entry, perm, false, buildTime, nil
+		return call.entry, perm, false, buildTime, key, nil
 	}
+}
+
+// queryHash shortens a canonical cache key to 16 hex digits — the
+// query-class identity shown in /queryz and EXPLAIN output.
+func queryHash(key string) string {
+	if key == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8])
 }
 
 // buildEntry preprocesses and builds one frozen index, inserting it into
