@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare bench-allocs vet fmt ci verify fuzz serve-smoke trace-smoke experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare bench-allocs bench-kernels vet fmt ci verify fuzz serve-smoke trace-smoke experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ bench-allocs:
 	$(GO) test -run TestEnumerationStepZeroAlloc -v ./internal/enum
 	$(GO) test -bench 'Fig7|Fig8|Fig19' -benchmem -benchtime 3x ./cmd/cecibench
 
+# Intersection-kernel health check: the per-kernel microbenchmarks
+# (merge / gallop / bitset / adaptive dispatch), then the end-to-end
+# suite gated against the committed baseline — which carries the
+# per-kernel enum_kernel_* counter split, so a selector change that
+# silently shifts work between kernels fails here.
+bench-kernels:
+	$(GO) test -bench 'BenchmarkKernel' -benchmem ./internal/setops
+	$(GO) run ./cmd/cecibench -json-out $(BENCH_DIR) -bench-name $(BENCH_NAME) \
+		-compare cmd/cecibench/testdata/BENCH_baseline.json -threshold $(BENCH_THRESHOLD)
+
 vet:
 	$(GO) vet ./...
 
@@ -52,13 +62,16 @@ verify:
 	$(GO) test -race -run Differential ./internal/verify
 	$(GO) run ./cmd/cecirun -verify -seed 1 -pairs 200
 
-# Short fuzz pass over both targets — same budget as the CI smoke job.
-# Crashers land under internal/verify/testdata/fuzz/; replay one with
-# `go run ./cmd/cecirun -verify -seed <seed>`.
+# Short fuzz pass over every target — same budget as the CI smoke job.
+# Matcher/index crashers land under internal/verify/testdata/fuzz/
+# (replay with `go run ./cmd/cecirun -verify -seed <seed>`); kernel
+# crashers land under internal/setops/testdata/fuzz/.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMatchDifferential -fuzztime=$(FUZZTIME) ./internal/verify
 	$(GO) test -run='^$$' -fuzz=FuzzIndexRoundTrip -fuzztime=$(FUZZTIME) ./internal/verify
+	$(GO) test -run='^$$' -fuzz=FuzzIntersectKernels -fuzztime=$(FUZZTIME) ./internal/setops
+	$(GO) test -run='^$$' -fuzz=FuzzIntersectionSize -fuzztime=$(FUZZTIME) ./internal/setops
 
 # What .github/workflows/ci.yml runs: vet + build + full tests, then a
 # race pass over the concurrency-heavy packages.
@@ -66,7 +79,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/verify ./internal/service ./cmd/ceciserve
+	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/setops ./internal/bitset ./internal/verify ./internal/service ./cmd/ceciserve
 
 # Boot the query service on the Figure 1 fixture and exercise the HTTP
 # API end to end (also run raced by CI's service-smoke job).

@@ -294,6 +294,21 @@ func compareBench(w io.Writer, base, cur *BenchResult, threshold float64) int {
 		row("enum_allocs_per_op", float64(b.EnumAllocsPerOp), float64(c.EnumAllocsPerOp), exceeds(c.EnumAllocsPerOp, b.EnumAllocsPerOp, threshold))
 		row("enum_bytes_per_op", float64(b.EnumBytesPerOp), float64(c.EnumBytesPerOp), exceeds(c.EnumBytesPerOp, b.EnumBytesPerOp, threshold))
 		row("peak_heap_bytes", float64(b.PeakHeapBytes), float64(c.PeakHeapBytes), false)
+		// Deterministic funnel counters from the profiled run, including
+		// the per-kernel enum split. Keys present in both documents gate
+		// with the relative threshold; keys the baseline predates are
+		// reported unchecked until the next baseline refresh.
+		profKeys := make([]string, 0, len(c.Profile))
+		for pk := range c.Profile {
+			if strings.HasPrefix(pk, "enum_") {
+				profKeys = append(profKeys, pk)
+			}
+		}
+		sort.Strings(profKeys)
+		for _, pk := range profKeys {
+			bv, inBase := b.Profile[pk]
+			row(pk, float64(bv), float64(c.Profile[pk]), inBase && exceeds(c.Profile[pk], bv, threshold))
+		}
 	}
 	for k := range baseCases {
 		if _, ok := curCases[k]; !ok {

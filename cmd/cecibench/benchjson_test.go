@@ -77,6 +77,30 @@ func TestCompareBenchPeakHeapNeverGated(t *testing.T) {
 	}
 }
 
+func TestCompareBenchProfileKeyRegression(t *testing.T) {
+	b := benchCase(1e9)
+	b.Profile = map[string]int64{"enum_comparisons": 1000, "enum_kernel_gallop_scanned": 400}
+	base := &BenchResult{Cases: []CaseResult{b}}
+	c := benchCase(1e9)
+	c.Profile = map[string]int64{"enum_comparisons": 2000, "enum_kernel_gallop_scanned": 400}
+	cur := &BenchResult{Cases: []CaseResult{c}}
+	if n := compareBench(io.Discard, base, cur, 0.25); n != 1 {
+		t.Fatalf("doubled enum_comparisons not gated: %d regressions", n)
+	}
+}
+
+func TestCompareBenchProfileKeyNewInCandidate(t *testing.T) {
+	// A key the baseline predates (e.g. the per-kernel split before a
+	// baseline refresh) is reported but never gated.
+	base := &BenchResult{Cases: []CaseResult{benchCase(1e9)}}
+	c := benchCase(1e9)
+	c.Profile = map[string]int64{"enum_kernel_bitset_calls": 123456}
+	cur := &BenchResult{Cases: []CaseResult{c}}
+	if n := compareBench(io.Discard, base, cur, 0.25); n != 0 {
+		t.Fatalf("baseline-missing profile key gated: %d regressions", n)
+	}
+}
+
 func TestCompareBenchMissingCase(t *testing.T) {
 	base := &BenchResult{Cases: []CaseResult{benchCase(1e9)}}
 	cur := &BenchResult{Cases: nil}

@@ -286,13 +286,18 @@ func (ix *Index) buildTE(u graph.VertexID) {
 func (ix *Index) buildNTE(u graph.VertexID) {
 	tree := ix.Tree
 	node := &ix.Nodes[u]
+	// Every member of Cands carries u's labels, so intersecting with the
+	// key's label partition (neighbors carrying u's primary label) is
+	// equivalent to intersecting with its full adjacency — just over a
+	// shorter left list. Unlabeled graphs fall through to Neighbors.
+	uLabel := tree.Query.Label(u)
 	for j, un := range tree.NTEParents[u] {
 		frontier := ix.Nodes[un].Cands
 		values := ix.valueSlots(len(frontier))
 		scratch := ix.scratches()
 		ix.parallelFor(len(frontier), func(i, w int) {
 			sc := &scratch[w]
-			sc.buf = setops.Intersect(sc.buf[:0], ix.Data.Neighbors(frontier[i]), node.Cands)
+			sc.buf = setops.Intersect(sc.buf[:0], ix.Data.NeighborsWithLabel(frontier[i], uLabel), node.Cands)
 			values[i] = sc.arena.copyIn(sc.buf)
 		})
 		if ix.buildCancelled() {
@@ -308,11 +313,12 @@ func (ix *Index) buildNTE(u graph.VertexID) {
 			}
 		}
 		if p := ix.opts.Profile; p != nil {
-			// Merge-intersection work: |adj(vn)| + |Cands(u)| comparisons
-			// per frontier key, versus what each intersection kept.
+			// Merge-intersection work: |adj_label(vn)| + |Cands(u)|
+			// comparisons per frontier key (the label partition is what
+			// was actually intersected), versus what each kept.
 			var cmp, out int64
 			for i, vn := range frontier {
-				cmp += int64(len(ix.Data.Neighbors(vn)) + len(node.Cands))
+				cmp += int64(len(ix.Data.NeighborsWithLabel(vn, uLabel)) + len(node.Cands))
 				out += int64(len(values[i]))
 			}
 			nc := p.Vertex(int(u)).NTE(j)
@@ -341,12 +347,23 @@ func (ix *Index) filterNeighborsInto(dst []graph.VertexID, vf graph.VertexID, u 
 	// Funnel counters accumulate in locals — one batched atomic add per
 	// frontier vertex, nothing on the per-neighbor path.
 	var dropLabel, dropDegree, dropNLC int64
-	neighbors := data.Neighbors(vf)
+	degree := int64(data.Degree(vf))
+	// Label-grouped adjacency: scan only the neighbors carrying u's
+	// primary label instead of label-testing the whole list. The
+	// partition IS the primary-label filter, so the skipped complement is
+	// charged to the label stage and the funnel invariant
+	// (scanned = dropped + kept) is unchanged. Extra labels of a
+	// multi-labeled query vertex are still tested per neighbor.
+	neighbors := data.NeighborsWithLabel(vf, qLabels[0])
+	dropLabel = degree - int64(len(neighbors))
+	if st != nil && dropLabel > 0 {
+		st.FilteredLabel.Add(dropLabel)
+	}
 	out := dst
 	for _, v := range neighbors {
-		// Label filter.
+		// Remaining labels of a multi-labeled query vertex.
 		okLabel := true
-		for _, l := range qLabels {
+		for _, l := range qLabels[1:] {
 			if !data.HasLabel(v, l) {
 				okLabel = false
 				break
@@ -379,7 +396,7 @@ func (ix *Index) filterNeighborsInto(dst []graph.VertexID, vf graph.VertexID, u 
 	}
 	if p := ix.opts.Profile; p != nil {
 		vc := p.Vertex(int(u))
-		vc.NeighborsScanned.Add(int64(len(neighbors)))
+		vc.NeighborsScanned.Add(degree)
 		vc.DroppedLabel.Add(dropLabel)
 		vc.DroppedDegree.Add(dropDegree)
 		vc.DroppedNLC.Add(dropNLC)

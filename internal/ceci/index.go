@@ -123,7 +123,46 @@ type Index struct {
 	// valbuf is the reusable frontier-expansion output table.
 	valbuf [][]graph.VertexID
 
+	// Label-pair prune state (l2Match-style neighboring-label index),
+	// built by Freeze when Options.LabelPairPrune is on and the graph is
+	// labeled. nbrSig[v] is the neighbor-label bloom of data vertex v
+	// (shared graph storage); reqMask[u] the bloom of labels required by
+	// query vertex u's later-matched query neighbors. A candidate v for u
+	// with nbrSig[v] ⊉ reqMask[u] cannot extend any partial embedding
+	// (its neighborhood provably lacks a needed label) and is dropped
+	// before any intersection kernel runs.
+	nbrSig  []uint64
+	reqMask []uint64
+
+	// ntePlan[u] records how CandidatesFor may cache intersections at u's
+	// depth across the sibling loop of u's predecessor in the matching
+	// order. Built at Freeze() time; nil until then (unfrozen indexes take
+	// the direct path).
+	ntePlan []cachePlan
+
 	opts Options
+}
+
+// cachePlan splits the intersection inputs of one query vertex by
+// volatility. The matching order is static, so the vertex matched
+// immediately before u — the one whose sibling loop drives consecutive
+// CandidatesFor(u, ...) calls — is known at freeze time. Any input list
+// keyed by that vertex ("volatile") changes on every call; every other
+// input is keyed by an ancestor assignment that stays fixed across the
+// whole loop ("stable") and can be intersected once and reused. At most
+// one input is volatile: the TE base list when u's tree parent is the
+// predecessor, or a single NTE list when that edge is non-tree.
+type cachePlan struct {
+	// use enables the stable-cache path: at least two inputs are stable,
+	// so the cached intersection actually precomputes work. With fewer,
+	// the cache would hold a raw input list and the fixed pairing order
+	// would forfeit IntersectK's smallest-first ordering (measured 2x
+	// slower on the clique queries).
+	use bool
+	// volBase marks the TE base list volatile (tree parent == predecessor).
+	volBase bool
+	// volNTE is the volatile NTE slot, or -1.
+	volNTE int
 }
 
 // Freeze compacts the mutable build-time structures into the flat
@@ -141,6 +180,72 @@ func (ix *Index) Freeze() {
 	ix.bcancel = nil // the build completed; drop the watcher flag
 	for u := range ix.Nodes {
 		ix.Nodes[u].freeze()
+	}
+	if ix.opts.LabelPairPrune && ix.Data.NumLabels() > 1 {
+		ix.buildLabelPrune()
+	}
+	ix.buildCachePlan()
+}
+
+// buildCachePlan computes the per-vertex volatility split CandidatesFor
+// uses to cache stable intersections across sibling loops (the
+// embedding-cluster observation of Section 4.1 applied one level up:
+// consecutive calls at the same depth share every ancestor assignment
+// except the predecessor's).
+func (ix *Index) buildCachePlan() {
+	tree := ix.Tree
+	ix.ntePlan = make([]cachePlan, tree.NumVertices())
+	for i := 1; i < len(tree.Order); i++ {
+		u, prev := tree.Order[i], tree.Order[i-1]
+		p := cachePlan{volNTE: -1}
+		if graph.VertexID(tree.Parent[u]) == prev {
+			p.volBase = true
+		}
+		for j, un := range tree.NTEParents[u] {
+			if un == prev {
+				p.volNTE = j
+				break
+			}
+		}
+		stable := 1 + len(tree.NTEParents[u])
+		if p.volBase {
+			stable--
+		}
+		if p.volNTE >= 0 {
+			stable--
+		}
+		p.use = len(tree.NTEParents[u]) > 0 && stable >= 2
+		ix.ntePlan[u] = p
+	}
+}
+
+// buildLabelPrune materializes the label-pair prune masks. The
+// per-data-vertex blooms are computed once per graph (lazily, shared
+// across indexes); only the per-query reqMask is built here. A query
+// neighbor matched later is either a tree child of u or carries a
+// non-tree edge keyed by u's match, so a candidate missing one of those
+// labels in its neighborhood can only lead to empty lookups deeper in
+// the search — pruning it changes no embedding, which
+// TestLabelPairPruneEquivalence locks in.
+func (ix *Index) buildLabelPrune() {
+	ix.nbrSig = ix.Data.NeighborLabelBlooms()
+	tree := ix.Tree
+	q := tree.Query
+	pos := make([]int, tree.NumVertices())
+	for i, u := range tree.Order {
+		pos[u] = i
+	}
+	ix.reqMask = make([]uint64, tree.NumVertices())
+	for u := range ix.reqMask {
+		var req uint64
+		for _, w := range q.Neighbors(graph.VertexID(u)) {
+			if pos[w] > pos[u] {
+				for _, l := range q.Labels(w) {
+					req |= 1 << (l & 63)
+				}
+			}
+		}
+		ix.reqMask[u] = req
 	}
 }
 
@@ -168,6 +273,15 @@ type Options struct {
 	// RefineRounds is the number of reverse-BFS refinement passes
 	// (default 1, matching the paper; extra rounds prune strictly more).
 	RefineRounds int
+	// LabelPairPrune enables the l2Match-style neighboring-label prune at
+	// enumeration time: candidates whose data neighborhood provably lacks
+	// a label required by the query vertex's still-unmatched neighbors
+	// are dropped before any intersection kernel runs. Always safe (bloom
+	// collisions only keep candidates, never drop matches). Off by
+	// default because the NLC filter's count-coverage subsumes it on
+	// standard builds; it recovers most of that pruning under
+	// SkipNLCFilter and costs one AND-compare per base candidate.
+	LabelPairPrune bool
 	// Pivots, when non-nil, restricts the index to the given embedding
 	// clusters instead of deriving pivots from the root's candidate
 	// filters. Used by the distributed runtime (Section 5), where each

@@ -7,8 +7,54 @@ import (
 	"ceci/internal/gen"
 	"ceci/internal/graph"
 	"ceci/internal/order"
+	"ceci/internal/prof"
 	"ceci/internal/workload"
 )
+
+// denseClique returns K_n: every candidate list during a clique-query
+// enumeration is a gap-1 run, which drives the bitset kernel.
+func denseClique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.MustBuild()
+}
+
+// hubTriangles returns two hub vertices connected to every leaf plus a
+// leaf-chain, so triangle enumeration intersects a huge hub adjacency
+// against tiny leaf adjacencies — a >16:1 skew that drives the gallop
+// kernel.
+func hubTriangles(leaves int) *graph.Graph {
+	b := graph.NewBuilder(2 + leaves)
+	for i := 0; i < leaves; i++ {
+		leaf := graph.VertexID(2 + i)
+		b.AddEdge(0, leaf)
+		b.AddEdge(1, leaf)
+		if i > 0 {
+			b.AddEdge(leaf-1, leaf)
+		}
+	}
+	b.AddEdge(0, 1)
+	return b.MustBuild()
+}
+
+// kernelCalls runs a profiled enumeration of (data, query) and returns
+// the per-kernel call totals, so fixtures can assert which kernel the
+// adaptive selector actually exercised.
+func kernelCalls(t *testing.T, data, query *graph.Graph) map[string]int64 {
+	t.Helper()
+	tree, err := order.Preprocess(data, query, order.Options{})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	collector := prof.New()
+	ix := ceci.Build(data, tree, ceci.Options{Profile: collector})
+	NewMatcher(ix, Options{Workers: 1, Profile: collector}).Count()
+	return collector.Snapshot().FunnelTotals()
+}
 
 // TestEnumerationStepZeroAlloc proves the steady-state enumeration step —
 // CandidatesFor against the frozen flat index, setops.IntersectK through
@@ -25,14 +71,31 @@ func TestEnumerationStepZeroAlloc(t *testing.T) {
 	cases := []struct {
 		name        string
 		data, query *graph.Graph
+		wantKernel  string // kernel that must fire for this fixture ("" = any)
 	}{
-		{"fig1", gen.Fig1Data(), gen.Fig1Query()},
-		{"random-pair-7", nil, nil},
+		{"fig1", gen.Fig1Data(), gen.Fig1Query(), ""},
+		{"random-pair-7", nil, nil, ""},
+		// Dense clique: gap-1 candidate lists force the bitset-chunked
+		// kernel, proving its chunk-builder reuse is allocation-free.
+		{"dense-bitset", denseClique(48), gen.QG3(), "bitset"},
+		// Hub skew on a 4-clique query: enumeration intersects a huge hub
+		// adjacency against tiny leaf adjacencies, a >16:1 ratio that
+		// forces the gallop kernel.
+		{"skew-gallop", hubTriangles(600), gen.QG3(), "gallop"},
+		// Triangle query over the same hub graph: the moderately sparse
+		// comparably sized leaf-chain lists drive the probe kernel.
+		{"hub-probe", hubTriangles(600), gen.QG1(), "probe"},
 	}
 	cases[1].data, cases[1].query = gen.RandomPair(7)
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			if tc.wantKernel != "" {
+				totals := kernelCalls(t, tc.data, tc.query)
+				if totals["enum_kernel_"+tc.wantKernel+"_calls"] == 0 {
+					t.Fatalf("fixture did not drive the %s kernel: %v", tc.wantKernel, totals)
+				}
+			}
 			tree, err := order.Preprocess(tc.data, tc.query, order.Options{})
 			if err != nil {
 				t.Fatalf("Preprocess: %v", err)

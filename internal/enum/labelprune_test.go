@@ -1,0 +1,152 @@
+package enum_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceci/internal/ceci"
+	"ceci/internal/enum"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/order"
+	"ceci/internal/prof"
+)
+
+func countWith(t *testing.T, data, query *graph.Graph, copts ceci.Options, workers int) (int64, map[string]int64) {
+	t.Helper()
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	var collector *prof.Collector
+	if copts.Profile == nil {
+		collector = prof.New()
+		copts.Profile = collector
+	} else {
+		collector = copts.Profile
+	}
+	ix := ceci.Build(data, tree, copts)
+	n := enum.NewMatcher(ix, enum.Options{Workers: workers, Profile: collector}).Count()
+	return n, collector.Snapshot().FunnelTotals()
+}
+
+// TestLabelPairPruneEquivalence: enabling the label-pair prune must never
+// change the embedding count — under default filtering (where the NLC
+// filter subsumes it) and under SkipNLCFilter (where it recovers real
+// pruning). Random labeled graphs across several alphabet sizes.
+func TestLabelPairPruneEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	anyPruned := int64(0)
+	for trial := 0; trial < 60; trial++ {
+		labels := 2 + rng.Intn(5)
+		data := randomGraph(rng, 14+rng.Intn(10), 40+rng.Intn(40), labels)
+		query, err := gen.DFSQuery(data, 3+rng.Intn(3), rng)
+		if err != nil {
+			continue
+		}
+		for _, skipNLC := range []bool{false, true} {
+			base, _ := countWith(t, data, query, ceci.Options{SkipNLCFilter: skipNLC}, 2)
+			pruned, totals := countWith(t, data, query, ceci.Options{SkipNLCFilter: skipNLC, LabelPairPrune: true}, 2)
+			if base != pruned {
+				t.Fatalf("trial %d skipNLC=%v: prune changed count %d -> %d", trial, skipNLC, base, pruned)
+			}
+			if skipNLC {
+				anyPruned += totals["enum_label_pruned"]
+			}
+		}
+	}
+	// The prune must actually fire somewhere across the sweep, or the
+	// equivalence above proves nothing.
+	if anyPruned == 0 {
+		t.Fatal("label-pair prune never dropped a candidate across 60 labeled trials")
+	}
+}
+
+// TestLabelPairPruneUnlabeledNoop: on a single-label graph the prune has
+// nothing to key on and must change neither results nor counters.
+func TestLabelPairPruneUnlabeledNoop(t *testing.T) {
+	data := gen.Kronecker(7, 6, 3)
+	query := gen.QG1()
+	base, _ := countWith(t, data, query, ceci.Options{}, 2)
+	pruned, totals := countWith(t, data, query, ceci.Options{LabelPairPrune: true}, 2)
+	if base != pruned {
+		t.Fatalf("prune changed count on unlabeled graph: %d -> %d", base, pruned)
+	}
+	if totals["enum_label_pruned"] != 0 {
+		t.Fatalf("prune counter fired on unlabeled graph: %d", totals["enum_label_pruned"])
+	}
+}
+
+// TestKernelCountersAccountAllWork: the per-kernel scanned/call counters
+// drained from the enumeration scratches must be internally consistent —
+// calls sum to the intersection count and scanned work is nonzero
+// whenever intersections ran.
+func TestKernelCountersAccountAllWork(t *testing.T) {
+	data := gen.Kronecker(8, 8, 1)
+	query := gen.QG3()
+	tree, err := order.Preprocess(data, query, order.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	collector := prof.New()
+	ix := ceci.Build(data, tree, ceci.Options{Profile: collector})
+	enum.NewMatcher(ix, enum.Options{Workers: 4, Profile: collector}).Count()
+	p := collector.Snapshot()
+
+	var intersections, kernelCalls, scanned int64
+	for _, v := range p.Vertices {
+		intersections += v.Enum.Intersections
+		scanned += v.Enum.Scanned
+		for _, k := range v.Enum.Kernels {
+			kernelCalls += k.Calls
+		}
+	}
+	if intersections == 0 {
+		t.Fatal("fixture produced no intersections; pick a denser one")
+	}
+	// Every charged intersection runs at most one kernel call (IntersectK
+	// stops early once an intermediate comes up empty, so calls can fall
+	// short of the charge, never past it). Kernel calls above the charge
+	// would mean work ran outside the adaptive dispatch's accounting.
+	if kernelCalls > intersections {
+		t.Fatalf("kernel calls %d > intersections %d: work escaped the per-kernel accounting", kernelCalls, intersections)
+	}
+	if kernelCalls == 0 {
+		t.Fatal("no kernel calls recorded despite intersections")
+	}
+	if scanned == 0 {
+		t.Fatal("no scanned work recorded despite intersections")
+	}
+	totals := p.FunnelTotals()
+	if totals["enum_scanned"] != scanned {
+		t.Fatalf("FunnelTotals enum_scanned %d != summed %d", totals["enum_scanned"], scanned)
+	}
+}
+
+// TestKernelCountersDeterministic: two identical profiled runs must
+// record identical kernel splits (they are pure functions of the inputs,
+// regardless of worker interleaving).
+func TestKernelCountersDeterministic(t *testing.T) {
+	data := gen.Kronecker(7, 7, 2)
+	query := gen.QG3()
+	run := func() map[string]int64 {
+		tree, err := order.Preprocess(data, query, order.DefaultOptions())
+		if err != nil {
+			t.Fatalf("Preprocess: %v", err)
+		}
+		collector := prof.New()
+		ix := ceci.Build(data, tree, ceci.Options{Profile: collector})
+		enum.NewMatcher(ix, enum.Options{Workers: 4, Profile: collector}).Count()
+		return collector.Snapshot().FunnelTotals()
+	}
+	a, b := run(), run()
+	for _, key := range []string{
+		"enum_comparisons", "enum_scanned",
+		"enum_kernel_merge_calls", "enum_kernel_gallop_calls", "enum_kernel_bitset_calls", "enum_kernel_probe_calls",
+		"enum_kernel_merge_scanned", "enum_kernel_gallop_scanned", "enum_kernel_bitset_scanned", "enum_kernel_probe_scanned",
+	} {
+		if a[key] != b[key] {
+			t.Fatalf("%s nondeterministic: %d vs %d", key, a[key], b[key])
+		}
+	}
+}

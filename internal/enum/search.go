@@ -57,6 +57,14 @@ func newSearcher(m *Matcher, ctl *control) *searcher {
 // continues from the next matching-order position. Returns false when
 // the enumeration should stop globally.
 func (s *searcher) runUnit(u workload.Unit) bool {
+	// Invalidate the per-depth stable-intersection caches: correctness
+	// does not require it (cache keys are compared on every lookup), but
+	// resetting at unit boundaries makes the rebuild counts — and so the
+	// per-kernel profile — independent of which worker ran which
+	// consecutive units.
+	for i := range s.scratch {
+		s.scratch[i].ResetUnitCache()
+	}
 	for i, v := range u.Prefix {
 		q := s.tree.order[i]
 		s.emb[q] = v

@@ -38,7 +38,9 @@ type Graph struct {
 	labelIndex [][]VertexID // labelIndex[l] = sorted vertices whose label set contains l
 	numLabels  int
 
-	nlc nlcCache // lazily built neighborhood-label-count signatures
+	nlc  nlcCache      // lazily built neighborhood-label-count signatures
+	ladj labelAdj      // lazily built label-grouped adjacency (NeighborsWithLabel)
+	nbr  nbrBloomCache // lazily built neighbor-label blooms (NeighborLabelBlooms)
 }
 
 // NumVertices returns the number of vertices.

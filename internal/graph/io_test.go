@@ -117,8 +117,8 @@ func TestBadFixturesRejected(t *testing.T) {
 
 func TestLabeledValidationEdgeCases(t *testing.T) {
 	ok := []string{
-		"t\nv 0 0\nv 1 0\ne 0 1\n",           // bare section marker
-		"v 0 0\nv 1 0\ne 0 1\n",              // headerless
+		"t\nv 0 0\nv 1 0\ne 0 1\n",            // bare section marker
+		"v 0 0\nv 1 0\ne 0 1\n",               // headerless
 		"t 2 1\nv 0 0\nv 1 0\ne 0 1\ne 1 1\n", // self-loop tolerated (dropped by the builder)
 	}
 	for _, in := range ok {

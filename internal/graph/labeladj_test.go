@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// refNeighborsWithLabel is the filtered-scan reference the grouped index
+// must agree with.
+func refNeighborsWithLabel(g *Graph, v VertexID, l Label) []VertexID {
+	var out []VertexID
+	for _, w := range g.Neighbors(v) {
+		if g.HasLabel(w, l) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func eqIDs(a, b []VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNeighborsWithLabelMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, labels = 200, 7
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(VertexID(v), Label(rng.Intn(labels)))
+		if rng.Intn(4) == 0 {
+			b.AddExtraLabel(VertexID(v), Label(rng.Intn(labels)))
+		}
+	}
+	for i := 0; i < 5*n; i++ {
+		b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+	}
+	g := b.MustBuild()
+
+	for v := 0; v < n; v++ {
+		for l := 0; l < labels+1; l++ { // +1: a label past the alphabet
+			got := g.NeighborsWithLabel(VertexID(v), Label(l))
+			want := refNeighborsWithLabel(g, VertexID(v), Label(l))
+			if !eqIDs(got, want) {
+				t.Fatalf("NeighborsWithLabel(%d, %d) = %v, want %v", v, l, got, want)
+			}
+		}
+	}
+}
+
+func TestNeighborsWithLabelSingleLabelFastPath(t *testing.T) {
+	g, err := FromEdgeList([][2]VertexID{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := VertexID(0); v < 3; v++ {
+		if !eqIDs(g.NeighborsWithLabel(v, 0), g.Neighbors(v)) {
+			t.Fatalf("single-label fast path diverged at %d", v)
+		}
+		if got := g.NeighborsWithLabel(v, 1); got != nil {
+			t.Fatalf("label 1 on unlabeled graph: %v", got)
+		}
+	}
+}
+
+func TestNeighborsWithLabelConcurrentFirstUse(t *testing.T) {
+	b := NewBuilder(100)
+	for v := 0; v < 100; v++ {
+		b.SetLabel(VertexID(v), Label(v%3))
+	}
+	for v := 0; v < 99; v++ {
+		b.AddEdge(VertexID(v), VertexID(v+1))
+	}
+	g := b.MustBuild()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := 0; v < 100; v++ {
+				l := Label((v + w) % 3)
+				got := g.NeighborsWithLabel(VertexID(v), l)
+				want := refNeighborsWithLabel(g, VertexID(v), l)
+				if !eqIDs(got, want) {
+					t.Errorf("concurrent NeighborsWithLabel(%d, %d) diverged", v, l)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ceci/internal/obs"
+	"ceci/internal/setops"
 )
 
 // Collector accumulates one profiled execution. Create with New, attach
@@ -104,6 +105,28 @@ type VertexCounters struct {
 	EnumIntersections atomic.Int64
 	EnumComparisons   atomic.Int64
 	EnumOutput        atomic.Int64
+
+	// Per-kernel enumeration work (the internal/setops adaptive kernels,
+	// indexed by setops.Kernel): how often each kernel fired, the
+	// elements/words it actually examined (versus EnumComparisons' merge-
+	// equivalent cost above), and what it emitted. EnumLabelPruned counts
+	// candidates the label-pair prune dropped before any kernel ran.
+	KernelCalls     [setops.NumKernels]atomic.Int64
+	KernelScanned   [setops.NumKernels]atomic.Int64
+	KernelEmitted   [setops.NumKernels]atomic.Int64
+	EnumLabelPruned atomic.Int64
+}
+
+// AddKernelStats accumulates a per-kernel work delta (typically one
+// enumeration step's setops.KernelStats difference) into the counters.
+func (v *VertexCounters) AddKernelStats(d setops.KernelStats) {
+	for k := 0; k < setops.NumKernels; k++ {
+		if d.Calls[k] != 0 {
+			v.KernelCalls[k].Add(d.Calls[k])
+			v.KernelScanned[k].Add(d.Scanned[k])
+			v.KernelEmitted[k].Add(d.Emitted[k])
+		}
+	}
 }
 
 // NTECounters profiles one incoming non-tree edge of a query vertex.

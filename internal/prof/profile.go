@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ceci/internal/obs"
+	"ceci/internal/setops"
 )
 
 // Profile is the immutable result of one profiled execution —
@@ -65,11 +66,29 @@ type NTEProfile struct {
 }
 
 // EnumProfile is the enumeration-time intersection cost at one vertex.
+// Comparisons is the merge-equivalent cost (summed input lengths —
+// comparable across kernel choices and to pre-kernel baselines); Scanned
+// is what the chosen kernels actually examined, split per kernel under
+// Kernels. LabelPruned counts candidates the label-pair prune dropped
+// before any kernel ran. All are deterministic functions of
+// (data, query, options).
 type EnumProfile struct {
-	Lookups       int64 `json:"lookups"`
-	Intersections int64 `json:"intersections"`
-	Comparisons   int64 `json:"comparisons"`
-	Output        int64 `json:"output"`
+	Lookups       int64           `json:"lookups"`
+	Intersections int64           `json:"intersections"`
+	Comparisons   int64           `json:"comparisons"`
+	Scanned       int64           `json:"scanned,omitempty"`
+	Output        int64           `json:"output"`
+	LabelPruned   int64           `json:"label_pruned,omitempty"`
+	Kernels       []KernelProfile `json:"kernels,omitempty"`
+}
+
+// KernelProfile is one adaptive intersection kernel's share of the
+// enumeration work at one vertex. Kernels that never fired are omitted.
+type KernelProfile struct {
+	Kernel  string `json:"kernel"`
+	Calls   int64  `json:"calls"`
+	Scanned int64  `json:"scanned"`
+	Emitted int64  `json:"emitted"`
 }
 
 // Dist summarizes a cardinality distribution.
@@ -142,7 +161,22 @@ func (c *Collector) Snapshot() Profile {
 				Intersections: vc.EnumIntersections.Load(),
 				Comparisons:   vc.EnumComparisons.Load(),
 				Output:        vc.EnumOutput.Load(),
+				LabelPruned:   vc.EnumLabelPruned.Load(),
 			},
+		}
+		for k := 0; k < setops.NumKernels; k++ {
+			calls := vc.KernelCalls[k].Load()
+			if calls == 0 {
+				continue
+			}
+			kp := KernelProfile{
+				Kernel:  setops.Kernel(k).String(),
+				Calls:   calls,
+				Scanned: vc.KernelScanned[k].Load(),
+				Emitted: vc.KernelEmitted[k].Load(),
+			}
+			vp.Enum.Scanned += kp.Scanned
+			vp.Enum.Kernels = append(vp.Enum.Kernels, kp)
 		}
 		vp.TEBytes = 8 * vp.TECandidates // the paper's Table 2 accounting
 		for j := range vc.nte {
@@ -272,7 +306,13 @@ func (p Profile) FunnelTotals() map[string]int64 {
 		out["final_candidates"] += v.FinalCands
 		out["index_flat_bytes"] += v.FlatBytes
 		out["enum_comparisons"] += v.Enum.Comparisons
+		out["enum_scanned"] += v.Enum.Scanned
+		out["enum_label_pruned"] += v.Enum.LabelPruned
 		out["enum_output"] += v.Enum.Output
+		for _, k := range v.Enum.Kernels {
+			out["enum_kernel_"+k.Kernel+"_calls"] += k.Calls
+			out["enum_kernel_"+k.Kernel+"_scanned"] += k.Scanned
+		}
 	}
 	return out
 }

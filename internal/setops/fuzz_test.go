@@ -1,0 +1,146 @@
+package setops_test
+
+import (
+	"testing"
+
+	"ceci/internal/setops"
+)
+
+// decodeLists turns raw fuzz bytes into two strictly-increasing uint32
+// lists. data[0] picks the split point (so the fuzzer controls the size
+// ratio, from 1:N skew to balanced); each remaining byte is a delta with
+// gap = byte+1, except bytes >= 240 which decode to large jumps of
+// (byte-239)*977 — prime-stepped so runs land on and straddle 64-bit word
+// and 4096-value chunk boundaries at many alignments. Deltas are >= 1, so
+// strict monotonicity holds by construction, and repeated large-jump
+// bytes walk the lists toward the top of the uint32 range where window
+// arithmetic must not wrap.
+func decodeLists(data []byte) (a, b []uint32) {
+	if len(data) < 1 {
+		return nil, nil
+	}
+	split := int(data[0])
+	rest := data[1:]
+	cut := len(rest) * split / 256
+	decode := func(bs []byte) []uint32 {
+		if len(bs) == 0 {
+			return nil
+		}
+		out := make([]uint32, 0, len(bs))
+		var v uint64
+		for _, c := range bs {
+			var gap uint64
+			if c >= 240 {
+				gap = uint64(c-239) * 977 * 257 // jumps up to ~4.2M: skips whole chunks
+			} else {
+				gap = uint64(c) + 1
+			}
+			v += gap
+			if v > 1<<32-1 {
+				break
+			}
+			out = append(out, uint32(v))
+		}
+		return out
+	}
+	return decode(rest[:cut]), decode(rest[cut:])
+}
+
+// FuzzIntersectKernels drives all three kernels (plus the adaptive entry
+// point, with and without scratch) against the naive reference on
+// fuzzer-shaped inputs, asserting bit-identical outputs everywhere.
+func FuzzIntersectKernels(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeLists(data)
+		if !setops.IsSorted(a) || !setops.IsSorted(b) {
+			t.Fatalf("decoder produced unsorted input: %v %v", a, b)
+		}
+		want := naiveIntersect(a, b)
+		var sc setops.Scratch
+		for _, k := range allKernels {
+			if got := setops.IntersectWith(k, nil, a, b, nil); !equal(got, want) {
+				t.Fatalf("kernel %v diverged: got %v want %v\na=%v\nb=%v", k, got, want, a, b)
+			}
+			if got := setops.IntersectWith(k, nil, a, b, &sc); !equal(got, want) {
+				t.Fatalf("kernel %v (scratch) diverged\na=%v\nb=%v", k, a, b)
+			}
+		}
+		if got := setops.Intersect(nil, a, b); !equal(got, want) {
+			t.Fatalf("adaptive Intersect diverged\na=%v\nb=%v", a, b)
+		}
+		if got := setops.Intersect(nil, b, a); !equal(got, want) {
+			t.Fatalf("adaptive Intersect not symmetric\na=%v\nb=%v", a, b)
+		}
+	})
+}
+
+// FuzzIntersectionSize checks every kernel's counting twin against the
+// materializing reference on the same decoded inputs.
+func FuzzIntersectionSize(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeLists(data)
+		want := len(naiveIntersect(a, b))
+		var sc setops.Scratch
+		for _, k := range allKernels {
+			if got := setops.IntersectionSizeWith(k, a, b, nil); got != want {
+				t.Fatalf("kernel %v size: got %d want %d\na=%v\nb=%v", k, got, want, a, b)
+			}
+			if got := setops.IntersectionSizeWith(k, a, b, &sc); got != want {
+				t.Fatalf("kernel %v size (scratch): got %d want %d", k, got, want)
+			}
+		}
+		if got := setops.IntersectionSize(a, b); got != want {
+			t.Fatalf("adaptive size: got %d want %d", got, want)
+		}
+	})
+}
+
+// fuzzSeeds returns in-code seeds complementing the committed corpus:
+// shapes chosen to start the fuzzer at each kernel's breakpoints.
+func fuzzSeeds() [][]byte {
+	dense := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = 0 // gap 1
+		}
+		return out
+	}
+	seeds := [][]byte{
+		{},
+		{128},
+		{0, 1, 2, 3},   // empty a, tiny b
+		{255, 1, 2, 3}, // tiny a, empty b
+	}
+	// Balanced dense: both halves gap-1 runs (bitset kernel).
+	seeds = append(seeds, append([]byte{128}, dense(200)...))
+	// 1:60 skew (gallop kernel): 3-element a, 180-element b.
+	skew := append([]byte{4}, dense(183)...)
+	seeds = append(seeds, skew)
+	// Word-boundary straddles: gap-1 runs separated by mid jumps.
+	run := append([]byte{128}, 63, 0, 0, 0, 63, 0, 0, 0)
+	seeds = append(seeds, append(run, dense(64)...))
+	// Chunk skips: large-jump bytes interleaved with dense runs.
+	jumpy := []byte{128}
+	for i := 0; i < 24; i++ {
+		if i%6 == 5 {
+			jumpy = append(jumpy, 250)
+		} else {
+			jumpy = append(jumpy, byte(i%3))
+		}
+	}
+	seeds = append(seeds, jumpy)
+	// Top-of-range walk: ~1100 max jumps of ~4M cross 1<<32, proving the
+	// decoder's clamp and the kernels' window arithmetic at the ceiling.
+	top := []byte{100}
+	for i := 0; i < 1100; i++ {
+		top = append(top, 255)
+	}
+	seeds = append(seeds, top)
+	return seeds
+}

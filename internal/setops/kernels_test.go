@@ -1,0 +1,357 @@
+package setops_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ceci/internal/setops"
+
+	"ceci/internal/bitset"
+)
+
+// naiveIntersect is the reference oracle every kernel is checked against:
+// the simplest possible two-pointer walk, no unrolling, no skipping.
+func naiveIntersect(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+var allKernels = []setops.Kernel{setops.KernelMerge, setops.KernelGallop, setops.KernelBitset, setops.KernelProbe}
+
+// checkAllKernels asserts that every kernel produces exactly the
+// reference intersection for (a, b) — both materializing and size-only,
+// both with and without a scratch — and that the recorded stats are
+// attributed to the kernel that ran.
+func checkAllKernels(t *testing.T, a, b []uint32) {
+	t.Helper()
+	want := naiveIntersect(a, b)
+	for _, k := range allKernels {
+		got := setops.IntersectWith(k, nil, a, b, nil)
+		if !equal(got, want) {
+			t.Fatalf("kernel %v: got %v want %v\na=%v\nb=%v", k, got, want, a, b)
+		}
+		if n := setops.IntersectionSizeWith(k, a, b, nil); n != len(want) {
+			t.Fatalf("kernel %v size: got %d want %d\na=%v\nb=%v", k, n, len(want), a, b)
+		}
+		var sc setops.Scratch
+		got = setops.IntersectWith(k, nil, a, b, &sc)
+		if !equal(got, want) {
+			t.Fatalf("kernel %v (scratch): got %v want %v", k, got, want)
+		}
+		if len(a) > 0 && len(b) > 0 {
+			if sc.Stats.Calls[k] != 1 {
+				t.Fatalf("kernel %v: stats recorded under wrong kernel: %+v", k, sc.Stats)
+			}
+			if sc.Stats.Emitted[k] != int64(len(want)) {
+				t.Fatalf("kernel %v: emitted %d want %d", k, sc.Stats.Emitted[k], len(want))
+			}
+		}
+	}
+}
+
+func TestKernelDifferentialOracleRandom(t *testing.T) {
+	f := func(a, b sortedSet) bool {
+		want := naiveIntersect(a, b)
+		for _, k := range allKernels {
+			if !equal(setops.IntersectWith(k, nil, a, b, nil), want) {
+				return false
+			}
+			if setops.IntersectionSizeWith(k, a, b, nil) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ramp returns {start, start+step, start+2*step, ...} of length n.
+func ramp(start, step uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v += step
+	}
+	return out
+}
+
+// TestKernelAdversarialShapes drives every kernel through the shapes that
+// historically break intersection kernels: empties, singletons, identical
+// lists, disjoint ranges, extreme skew, dense runs straddling 64-bit word
+// and 4096-value chunk boundaries, and values at the top of the uint32
+// range (where window arithmetic can wrap).
+func TestKernelAdversarialShapes(t *testing.T) {
+	const chunk = bitset.ChunkBits
+	cases := []struct {
+		name string
+		a, b []uint32
+	}{
+		{"both empty", nil, nil},
+		{"one empty", nil, []uint32{1, 2, 3}},
+		{"singletons hit", []uint32{7}, []uint32{7}},
+		{"singletons miss", []uint32{7}, []uint32{8}},
+		{"singleton vs huge", []uint32{5000}, ramp(0, 1, 20000)},
+		{"identical lists", ramp(3, 5, 1000), ramp(3, 5, 1000)},
+		{"disjoint low/high", ramp(0, 1, 500), ramp(100000, 1, 500)},
+		{"interleaved no overlap", ramp(0, 2, 1000), ramp(1, 2, 1000)},
+		{"1:10000 skew", []uint32{0, 9999, 50000, 99990}, ramp(0, 1, 100000)},
+		{"skew misses between runs", []uint32{10, 20, 30}, ramp(1000, 3, 40000)},
+		{"dense straddling word boundary", ramp(60, 1, 10), ramp(62, 1, 10)},
+		{"dense at word edges", []uint32{63, 64, 127, 128, 191, 192}, []uint32{64, 128, 192}},
+		{"dense straddling chunk boundary", ramp(chunk-32, 1, 64), ramp(chunk-16, 1, 64)},
+		{"chunk-aligned heads", ramp(chunk, 1, 100), ramp(2*chunk, 1, 100)},
+		{"sparse across many chunks", ramp(0, chunk, 64), ramp(0, chunk/2, 128)},
+		{"gap skips whole chunks", append(ramp(0, 1, 16), ramp(100*chunk, 1, 16)...), append(ramp(8, 1, 16), ramp(100*chunk+8, 1, 16)...)},
+		{"top of uint32 range", ramp(1<<32-100, 1, 100), ramp(1<<32-50, 1, 50)},
+		{"last value is MaxUint32", []uint32{1<<32 - 1}, ramp(1<<32-chunk, 7, chunk/7)},
+		{"wrap probe: huge jump after dense", append(ramp(0, 1, 64), 1<<32-2, 1<<32-1), append(ramp(32, 1, 64), 1<<32-1)},
+		{"run lengths 1..5 mixed", []uint32{1, 2, 3, 10, 11, 40, 41, 42, 43, 44, 90}, []uint32{2, 3, 4, 11, 12, 13, 42, 43, 90, 91}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkAllKernels(t, tc.a, tc.b)
+			checkAllKernels(t, tc.b, tc.a)
+		})
+	}
+}
+
+// TestChooseKernelBreakpoints pins the selector's decision at each
+// cardinality-ratio and density breakpoint so a future threshold change
+// must be made (and benchmarked) deliberately.
+func TestChooseKernelBreakpoints(t *testing.T) {
+	// Sparse lists: step 100 ≫ bitsetMaxGap keeps density out of play.
+	sparse := func(n int) []uint32 { return ramp(0, 100, n) }
+	// Dense lists: step 1 is maximal density.
+	dense := func(n int) []uint32 { return ramp(0, 1, n) }
+	cases := []struct {
+		name string
+		a, b []uint32
+		want setops.Kernel
+	}{
+		{"empty a", nil, sparse(10), setops.KernelMerge},
+		{"empty both", nil, nil, setops.KernelMerge},
+		// Gap 100 is too sparse for bitset but well inside the probe
+		// kernel's 512-gap window.
+		{"equal sizes gap 100", sparse(100), sparse(100), setops.KernelProbe},
+		{"ratio 15 gap 100", sparse(10), sparse(150), setops.KernelProbe},
+		{"ratio 16 sparse", sparse(10), sparse(160), setops.KernelGallop},
+		{"ratio 16 reversed", sparse(160), sparse(10), setops.KernelGallop},
+		{"ratio 1000", sparse(4), sparse(4000), setops.KernelGallop},
+		// Density breakpoint: span <= (len(a)+len(b))*8 chooses bitset.
+		// 2×1000 elements, avg gap 4 → span 4000 <= 16000.
+		{"dense equal sizes", dense(1000), ramp(0, 4, 1000), setops.KernelBitset},
+		// Interleaved lists with combined avg gap 8: span 15993 <= 16000.
+		{"gap exactly 8", ramp(0, 16, 1000), ramp(8, 16, 1000), setops.KernelBitset},
+		// Just past the bitset threshold: combined span 16992 > 16000,
+		// but gap 17 is still far inside the probe window.
+		{"gap just past 8", ramp(0, 17, 1000), ramp(8, 17, 1000), setops.KernelProbe},
+		// Probe breakpoint: span(a) <= (len(a)+len(b))*512 chooses probe.
+		// 999*1024 = 1022976 <= 2000*512 = 1024000.
+		{"gap just under 512", ramp(0, 1024, 1000), ramp(500, 1024, 1000), setops.KernelProbe},
+		// 999*1026 = 1024974 > 1024000: past the probe window, merge.
+		{"gap just past 512", ramp(0, 1026, 1000), ramp(500, 1026, 1000), setops.KernelMerge},
+		// Skew wins over density: a dense pair at ratio >= 16 still gallops
+		// (probing 10 values beats building 64-word windows).
+		{"dense but skewed", dense(10), dense(160), setops.KernelGallop},
+		// Disjoint dense runs: the combined span is huge (no bitset), but
+		// the smaller list alone is dense, so the probe kernel fires — it
+		// gallops the big list to the (empty) overlap and exits early.
+		{"disjoint dense runs", dense(100), ramp(1<<20, 1, 100), setops.KernelProbe},
+		{"singleton vs singleton", []uint32{3}, []uint32{9}, setops.KernelBitset},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := setops.ChooseKernel(tc.a, tc.b); got != tc.want {
+				t.Fatalf("ChooseKernel = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestKernelStringNames(t *testing.T) {
+	names := map[setops.Kernel]string{
+		setops.KernelMerge:  "merge",
+		setops.KernelGallop: "gallop",
+		setops.KernelBitset: "bitset",
+		setops.KernelProbe:  "probe",
+		setops.Kernel(99):   "unknown",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Fatalf("Kernel(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestKernelStatsDeterministic asserts the work counters are pure
+// functions of the inputs: two identical runs record identical deltas,
+// and Sub/TotalScanned behave arithmetically.
+func TestKernelStatsDeterministic(t *testing.T) {
+	lists := [][]uint32{ramp(0, 3, 2000), ramp(0, 2, 3000), ramp(0, 7, 500)}
+	var sc setops.Scratch
+	before := sc.Stats
+	setops.IntersectK(&sc, lists)
+	d1 := sc.Stats.Sub(before)
+
+	before = sc.Stats
+	setops.IntersectK(&sc, lists)
+	d2 := sc.Stats.Sub(before)
+
+	if d1 != d2 {
+		t.Fatalf("identical runs recorded different stats:\n%+v\n%+v", d1, d2)
+	}
+	if d1.TotalScanned() == 0 {
+		t.Fatal("no scanned work recorded")
+	}
+	var calls int64
+	for k := 0; k < setops.NumKernels; k++ {
+		calls += d1.Calls[k]
+	}
+	if calls != 2 { // 3 lists → 2 pairwise intersections
+		t.Fatalf("recorded %d calls, want 2", calls)
+	}
+}
+
+// TestKernelScratchRace runs 8 workers, each reusing one Scratch across
+// many distinct "queries" (list pairs chosen to hit all four kernels,
+// including the chunk builders and span bitmap the bitset and probe
+// paths reuse), and checks every
+// result against the reference. Under -race this proves per-worker
+// scratch reuse never leaks state across queries or workers.
+func TestKernelScratchRace(t *testing.T) {
+	type query struct {
+		a, b []uint32
+		want []uint32
+	}
+	rng := rand.New(rand.NewSource(42))
+	queries := make([]query, 48)
+	for i := range queries {
+		var a, b []uint32
+		switch i % 4 {
+		case 0: // dense → bitset
+			a = ramp(uint32(rng.Intn(1000)), 1+uint32(rng.Intn(3)), 500+rng.Intn(1500))
+			b = ramp(uint32(rng.Intn(1000)), 1+uint32(rng.Intn(3)), 500+rng.Intn(1500))
+		case 1: // skewed → gallop
+			a = ramp(uint32(rng.Intn(100)), 17, 30+rng.Intn(50))
+			b = ramp(0, 1, 40000)
+		case 2: // clustered gap ~100 → probe (reuses the span bitmap)
+			a = ramp(uint32(rng.Intn(100)), 97, 1000)
+			b = ramp(uint32(rng.Intn(100)), 101, 1000)
+		default: // wide-span sparse → merge
+			a = ramp(uint32(rng.Intn(100)), 2000, 1000)
+			b = ramp(uint32(rng.Intn(100)), 2003, 1000)
+		}
+		queries[i] = query{a, b, naiveIntersect(a, b)}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sc setops.Scratch
+			for iter := 0; iter < 50; iter++ {
+				q := queries[(w*31+iter)%len(queries)]
+				got := setops.IntersectK(&sc, [][]uint32{q.a, q.b})
+				if !equal(got, q.want) {
+					errs <- fmt.Errorf("worker %d iter %d: got %d elems want %d", w, iter, len(got), len(q.want))
+					return
+				}
+				k := setops.ChooseKernel(q.a, q.b)
+				if n := setops.IntersectionSizeWith(k, q.a, q.b, &sc); n != len(q.want) {
+					errs <- fmt.Errorf("worker %d iter %d: size %d want %d", w, iter, n, len(q.want))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestIntersectAdaptiveAgreement checks the public adaptive entry points
+// agree with the oracle regardless of which kernel the selector picked.
+func TestIntersectAdaptiveAgreement(t *testing.T) {
+	f := func(a, b sortedSet) bool {
+		want := naiveIntersect(a, b)
+		return equal(setops.Intersect(nil, a, b), want) &&
+			setops.IntersectionSize(a, b) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelMergeBalanced(b *testing.B) {
+	x := ramp(0, 97, 4096)
+	y := ramp(50, 101, 4096)
+	benchKernel(b, setops.KernelMerge, x, y)
+}
+
+func BenchmarkKernelGallopSkewed(b *testing.B) {
+	x := ramp(0, 1017, 256)
+	y := ramp(0, 3, 100000)
+	benchKernel(b, setops.KernelGallop, x, y)
+}
+
+func BenchmarkKernelBitsetDense(b *testing.B) {
+	x := ramp(0, 2, 8192)
+	y := ramp(1, 3, 8192)
+	benchKernel(b, setops.KernelBitset, x, y)
+}
+
+func BenchmarkKernelProbeClustered(b *testing.B) {
+	x := ramp(0, 97, 4096)
+	y := ramp(50, 101, 4096)
+	benchKernel(b, setops.KernelProbe, x, y)
+}
+
+func BenchmarkKernelAdaptive(b *testing.B) {
+	x := ramp(0, 2, 8192)
+	y := ramp(1, 3, 8192)
+	var sc setops.Scratch
+	var dst []uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = setops.IntersectWith(setops.ChooseKernel(x, y), dst[:0], x, y, &sc)
+	}
+	sinkLen = len(dst)
+}
+
+var sinkLen int
+
+func benchKernel(b *testing.B, k setops.Kernel, x, y []uint32) {
+	var sc setops.Scratch
+	var dst []uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = setops.IntersectWith(k, dst[:0], x, y, &sc)
+	}
+	sinkLen = len(dst)
+}

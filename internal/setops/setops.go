@@ -4,104 +4,48 @@
 // non-tree-edge verification becomes an intersection of sorted candidate
 // lists instead of an adjacency probe.
 //
-// Three strategies are provided and selected adaptively:
+// Four intersection kernels are provided and selected adaptively per
+// call from O(1) statistics of the inputs (lengths and value spans — on
+// a frozen CECI index these come straight from the flat columns):
 //
-//   - linear merge for similarly sized inputs,
-//   - galloping (exponential) search when one input is much smaller,
-//   - binary probes of single elements for membership tests.
+//   - KernelMerge: classic two-cursor linear merge, the wide-span
+//     fallback for similarly sized inputs;
+//   - KernelGallop: exponential search plus binary refinement, when one
+//     input is much smaller;
+//   - KernelBitset: 4096-value chunked word-parallel AND via
+//     bitset.ChunkBuilder, when the inputs are dense over their span;
+//   - KernelProbe: span-offset bitmap (bitset.Span) built from the
+//     smaller list and probed by the larger, for the locally clustered,
+//     moderately sparse lists frozen CECI indexes produce.
 //
 // All functions treat inputs as strictly increasing sequences and produce
-// strictly increasing outputs.
+// strictly increasing outputs. Every kernel is bit-identical to the
+// others on the same inputs; the cross-kernel differential tests and the
+// FuzzIntersectKernels / FuzzIntersectionSize targets enforce that.
 package setops
 
 import (
 	"slices"
 	"sort"
+	"unsafe"
+
+	"ceci/internal/bitset"
 )
 
-// gallopRatio is the size disparity beyond which Intersect switches from
-// linear merge to galloping search. 16 follows the classic adaptive
-// set-intersection literature (and measured well in bench_setops).
-const gallopRatio = 16
-
 // Intersect writes the intersection of a and b into dst (reusing its
-// capacity) and returns the result. dst may be nil. dst must not alias a
-// or b.
+// capacity) and returns the result, selecting the cheapest kernel for the
+// inputs' shape. dst may be nil.
+//
+// Aliasing: dst may share a backing array with a or b in the rewound form
+// dst = x[:0] (every kernel writes at or below the positions it has
+// already consumed). Arbitrary overlap — dst starting mid-way into a or b
+// — is not supported.
 func Intersect(dst, a, b []uint32) []uint32 {
 	dst = dst[:0]
 	if len(a) == 0 || len(b) == 0 {
 		return dst
 	}
-	// Ensure a is the smaller list.
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	if len(b) >= gallopRatio*len(a) {
-		return intersectGallop(dst, a, b)
-	}
-	return intersectMerge(dst, a, b)
-}
-
-func intersectMerge(dst, a, b []uint32) []uint32 {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		x, y := a[i], b[j]
-		switch {
-		case x < y:
-			i++
-		case x > y:
-			j++
-		default:
-			dst = append(dst, x)
-			i++
-			j++
-		}
-	}
-	return dst
-}
-
-func intersectGallop(dst, small, large []uint32) []uint32 {
-	lo := 0
-	for _, x := range small {
-		lo = gallop(large, lo, x)
-		if lo == len(large) {
-			break
-		}
-		if large[lo] == x {
-			dst = append(dst, x)
-			lo++
-		}
-	}
-	return dst
-}
-
-// gallop returns the smallest index i >= lo with large[i] >= x, using
-// exponential probing followed by binary search.
-func gallop(large []uint32, lo int, x uint32) int {
-	n := len(large)
-	if lo >= n || large[lo] >= x {
-		return lo
-	}
-	step := 1
-	hi := lo + 1
-	for hi < n && large[hi] < x {
-		lo = hi
-		step <<= 1
-		hi = lo + step
-	}
-	if hi > n {
-		hi = n
-	}
-	// binary search in (lo, hi]
-	for lo+1 < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if large[mid] < x {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return hi
+	return IntersectWith(ChooseKernel(a, b), dst, a, b, nil)
 }
 
 // Contains reports whether sorted list a contains x.
@@ -110,9 +54,10 @@ func Contains(a []uint32, x uint32) bool {
 	return i < len(a) && a[i] == x
 }
 
-// IntersectK intersects k sorted lists (k >= 1), smallest first for speed.
-// scratch provides reusable buffers; pass nil to allocate. The result may
-// alias lists[0] only when k == 1.
+// IntersectK intersects k sorted lists (k >= 1), smallest first for
+// speed, choosing the cheapest kernel per pairwise step and recording
+// per-kernel work into scratch.Stats. scratch provides reusable buffers;
+// pass nil to allocate. The result may alias lists[0] only when k == 1.
 func IntersectK(scratch *Scratch, lists [][]uint32) []uint32 {
 	switch len(lists) {
 	case 0:
@@ -137,27 +82,48 @@ func IntersectK(scratch *Scratch, lists [][]uint32) []uint32 {
 	}
 	scratch.order = order
 
-	cur := Intersect(scratch.a[:0], lists[order[0]], lists[order[1]])
+	first, second := lists[order[0]], lists[order[1]]
+	cur := IntersectWith(ChooseKernel(first, second), scratch.a[:0], first, second, scratch)
 	scratch.a = cur
 	for i := 2; i < len(order) && len(cur) > 0; i++ {
-		next := Intersect(scratch.b[:0], cur, lists[order[i]])
-		scratch.a, scratch.b = next, cur[:0]
-		cur = next
+		next := lists[order[i]]
+		out := IntersectWith(ChooseKernel(cur, next), scratch.b[:0], cur, next, scratch)
+		scratch.a, scratch.b = out, cur[:0]
+		cur = out
 	}
 	return cur
 }
 
-// Scratch holds reusable buffers for IntersectK, avoiding per-call
-// allocation in the enumeration inner loop. Not safe for concurrent use;
-// each worker keeps its own.
+// Scratch holds reusable buffers for the scratch-taking entry points —
+// intermediate result slices for IntersectK, the two chunk builders the
+// bitset kernel fills, the probe kernel's span bitmap, and the
+// per-kernel work counters — avoiding per-call allocation in the
+// enumeration inner loop. Not safe for concurrent use; each worker keeps
+// its own.
 type Scratch struct {
 	a, b  []uint32
 	order []int
+
+	chunkA, chunkB bitset.ChunkBuilder
+	span           bitset.Span
+
+	// Stats accumulates per-kernel calls / scanned / emitted across every
+	// recorded operation on this scratch. Callers that need per-call
+	// deltas snapshot it before and Sub after.
+	Stats KernelStats
 }
 
 // Union writes the sorted union of a and b into dst and returns it.
-// dst must not alias a or b.
+// dst must not alias a or b; the rewound form dst = x[:0] is detected
+// and handled by copying that input first (the union outgrows its
+// inputs, so in-place writes would clobber unread elements).
 func Union(dst, a, b []uint32) []uint32 {
+	if sharesBacking(dst, a) {
+		a = slices.Clone(a)
+	}
+	if sharesBacking(dst, b) {
+		b = slices.Clone(b)
+	}
 	dst = dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -216,7 +182,14 @@ func UnionMany(lists [][]uint32) []uint32 {
 }
 
 // Diff writes a \ b (elements of a not in b) into dst and returns it.
+//
+// Aliasing: dst = a[:0] is safe (the output is a subsequence of a, so
+// writes never pass the read cursor). dst = b[:0] would clobber unread
+// elements of b and is detected and handled by copying b first.
 func Diff(dst, a, b []uint32) []uint32 {
+	if sharesBacking(dst, b) {
+		b = slices.Clone(b)
+	}
 	dst = dst[:0]
 	j := 0
 	for _, x := range a {
@@ -230,39 +203,25 @@ func Diff(dst, a, b []uint32) []uint32 {
 	return dst
 }
 
-// IntersectionSize returns |a ∩ b| without materializing the result.
+// sharesBacking reports whether dst (in its rewound dst = x[:0] form)
+// shares a backing array with s — the aliasing pattern the candidate-list
+// pipelines use. It compares the underlying array pointers, so it also
+// catches dst rewound from a slice-of-s prefix.
+func sharesBacking(dst, s []uint32) bool {
+	if cap(dst) == 0 || len(s) == 0 {
+		return false
+	}
+	return unsafe.SliceData(dst[:1]) == unsafe.SliceData(s)
+}
+
+// IntersectionSize returns |a ∩ b| without materializing the result,
+// selecting the cheapest kernel (the bitset path counts with one
+// popcount per word instead of re-emitting survivors).
 func IntersectionSize(a, b []uint32) int {
-	if len(a) > len(b) {
-		a, b = b, a
+	if len(a) == 0 || len(b) == 0 {
+		return 0
 	}
-	if len(b) >= gallopRatio*len(a) {
-		n, lo := 0, 0
-		for _, x := range a {
-			lo = gallop(b, lo, x)
-			if lo == len(b) {
-				break
-			}
-			if b[lo] == x {
-				n++
-				lo++
-			}
-		}
-		return n
-	}
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return IntersectionSizeWith(ChooseKernel(a, b), a, b, nil)
 }
 
 // IsSorted reports whether a is strictly increasing (the invariant all
