@@ -92,6 +92,13 @@ serve-smoke:
 trace-smoke:
 	$(GO) test -race -run 'TestServeTraceAuditFlush|TestTraced|TestRunTCPConnectedSpanTree' -v ./cmd/ceciserve ./internal/service ./internal/cluster
 
+# Telemetry smoke: the hub's deterministic unit tests raced, then the
+# /statz + /dashz + Server-Timing surfaces through the in-process server
+# (also run, plus a curl-driven binary pass, by CI's telemetry-smoke job).
+telemetry-smoke:
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -race -run 'TestServeStatzSmoke|TestTelemetryEndToEnd|TestQueryzFilters|TestServerTimingHeader|TestRunLedger' -v ./cmd/ceciserve ./internal/service ./cmd/cecirun
+
 # Regenerate every table and figure of the paper (minutes).
 experiments:
 	$(GO) run ./cmd/cecibench -exp all

@@ -47,6 +47,11 @@ func ExplainAnalyze(data, query *Graph, opts *Options) (*Report, error) {
 		// Phases come from the span tree; guarantee one exists.
 		o.Tracer = obs.NewTracer(obs.TracerOptions{})
 	}
+	if o.Ledger == nil {
+		// The resource ledger rides every analyzed run: its charges land
+		// at work-unit boundaries, so it costs nothing per depth step.
+		o.Ledger = NewLedger()
+	}
 	o.profile = prof.New()
 
 	buildStart := time.Now()
@@ -63,6 +68,7 @@ func ExplainAnalyze(data, query *Graph, opts *Options) (*Report, error) {
 	p := o.profile.Snapshot()
 	decorateProfile(&p, m)
 	p.SetPhases(o.Tracer.PhaseDurations())
+	p.Resources = o.Ledger.Snapshot()
 
 	return &Report{
 		Plan:       m.Explain(),

@@ -49,6 +49,7 @@ import (
 	"ceci/internal/order"
 	"ceci/internal/prof"
 	"ceci/internal/stats"
+	"ceci/internal/telemetry"
 	"ceci/internal/workload"
 )
 
@@ -87,6 +88,21 @@ type (
 
 // NewTracer returns a span tracer to attach to Options.Tracer.
 func NewTracer(opts TracerOptions) *Tracer { return obs.NewTracer(opts) }
+
+// Resource accounting, aliased from the internal telemetry layer.
+type (
+	// Ledger accumulates one run's resource charges — CPU time, work
+	// units, recursive calls, embeddings, peak scratch footprint, and the
+	// intersection-kernel mix — at work-unit boundaries, so the
+	// steady-state enumeration step stays allocation-free.
+	Ledger = telemetry.Ledger
+	// QueryResources is a Ledger snapshot: the immutable per-run resource
+	// accounting attached to flight records and EXPLAIN ANALYZE profiles.
+	QueryResources = obs.QueryResources
+)
+
+// NewLedger returns a resource ledger to attach to Options.Ledger.
+func NewLedger() *Ledger { return telemetry.NewLedger() }
 
 // Strategy selects how embedding clusters are distributed across workers
 // (Sections 4.2–4.3 of the paper).
@@ -177,6 +193,10 @@ type Options struct {
 	// (preprocess, build with refine children, enumerate with per-cluster
 	// children). One tracer may be shared across queries.
 	Tracer *Tracer
+	// Ledger, when non-nil, accumulates the run's resource charges (CPU
+	// time, work units, peak scratch bytes, kernel mix) at work-unit
+	// boundaries. Read it with Ledger.Snapshot after the enumeration.
+	Ledger *Ledger
 	// Progress, when non-nil, is invoked every ProgressInterval during
 	// enumeration — and once more when it finishes (Progress.Final) —
 	// with live cluster/embedding counts, rates, per-worker busy time,
@@ -264,6 +284,7 @@ func MatchCtx(ctx context.Context, data, query *Graph, opts *Options) (*Matcher,
 		Trace:                   o.Tracer,
 		Progress:                o.reporter(),
 		Profile:                 o.profile,
+		Ledger:                  o.Ledger,
 	})
 	return &Matcher{inner: m, index: ix, opts: o}, nil
 }
@@ -418,6 +439,7 @@ func ForEachIncrementalCtx(ctx context.Context, data, query *Graph, opts *Option
 			Stats:                   o.Stats,
 			Trace:                   o.Tracer,
 			Progress:                o.reporter(),
+			Ledger:                  o.Ledger,
 		}, fn)
 }
 

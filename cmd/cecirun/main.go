@@ -62,6 +62,7 @@ type runConfig struct {
 	// Profiling.
 	explainAnalyze bool   // -explain-analyze: run with deep instrumentation, print the profile
 	profileJSON    string // -profile-json: write the ExplainAnalyze report as JSON here
+	ledger         bool   // -ledger: print the run's resource ledger (CPU, units, scratch, kernels)
 
 	// Observability.
 	statsJSON     bool          // -stats: dump counters + span tree as JSON to stderr
@@ -100,6 +101,7 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "print the query plan before running")
 	flag.BoolVar(&cfg.explainAnalyze, "explain-analyze", false, "execute with deep instrumentation and print the per-vertex profile")
 	flag.StringVar(&cfg.profileJSON, "profile-json", "", "write the EXPLAIN ANALYZE report as JSON to this file (implies instrumentation)")
+	flag.BoolVar(&cfg.ledger, "ledger", false, "print the run's resource ledger (CPU time, work units, peak scratch, kernel mix)")
 	flag.BoolVar(&cfg.statsJSON, "stats", false, "print the final counter snapshot and span tree as JSON to stderr")
 	flag.StringVar(&cfg.listen, "listen", "", "serve telemetry (/metrics, /metrics.json, /trace, /debug/pprof) on this address")
 	flag.DurationVar(&cfg.progressEvery, "progress", 0, "print live progress to stderr at this interval (0 = off)")
@@ -159,6 +161,9 @@ func run(ctx context.Context, cfg runConfig) error {
 		Beta:             cfg.beta,
 		EdgeVerification: cfg.edgeVerif,
 		Stats:            &ceci.Stats{},
+	}
+	if cfg.ledger {
+		opts.Ledger = ceci.NewLedger()
 	}
 	switch strings.ToLower(cfg.strategy) {
 	case "st":
@@ -331,6 +336,13 @@ func run(ctx context.Context, cfg runConfig) error {
 	}
 	enumTime := time.Since(enumStart)
 
+	// The ledger covers whatever ran, complete or interrupted — partial
+	// charges are still real work done.
+	printLedger := func() {
+		if opts.Ledger != nil {
+			fmt.Fprint(cfg.outw, opts.Ledger.Snapshot().Text())
+		}
+	}
 	if enumErr != nil {
 		// The run was cut short (deadline or signal). Partial counts are
 		// still meaningful — every reported embedding was verified — so
@@ -338,6 +350,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		fmt.Printf("embeddings: %d (partial)\n", count)
 		fmt.Printf("build:      %v\n", buildTime)
 		fmt.Printf("enumerate:  %v (interrupted)\n", enumTime)
+		printLedger()
 		if cfg.statsJSON {
 			if err := writeStatsJSON(cfg.errw, opts); err != nil {
 				return err
@@ -352,6 +365,7 @@ func run(ctx context.Context, cfg runConfig) error {
 	fmt.Printf("embeddings: %d\n", count)
 	fmt.Printf("build:      %v\n", buildTime)
 	fmt.Printf("enumerate:  %v\n", enumTime)
+	printLedger()
 	if cfg.verbose {
 		info := m.IndexInfo()
 		fmt.Printf("index: pivots=%d candidate-edges=%d size=%dB theoretical=%dB saved=%.1f%%\n",

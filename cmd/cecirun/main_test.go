@@ -303,3 +303,46 @@ func TestRunTimeoutReportsPartial(t *testing.T) {
 		t.Fatalf("timeout took %v to take effect", elapsed)
 	}
 }
+
+// TestRunLedger: -ledger prints the run's resource accounting after the
+// result lines, with non-trivial charges.
+func TestRunLedger(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	var out bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		ledger: true, outw: &out,
+	}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "resource ledger:") {
+		t.Fatalf("-ledger output missing the ledger block:\n%s", text)
+	}
+	for _, want := range []string{"units", "kernel"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("ledger block missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunExplainAnalyzeResources: the EXPLAIN ANALYZE profile carries
+// the resource-ledger section without asking for -ledger.
+func TestRunExplainAnalyzeResources(t *testing.T) {
+	dataPath, queryPath := writeFixtures(t)
+	var out bytes.Buffer
+	cfg := runConfig{
+		dataPath: dataPath, queryPath: queryPath,
+		workers: 1, strategy: "fgd", beta: 0.2, orderName: "bfs",
+		explainAnalyze: true, outw: &out,
+	}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== resources ==") || !strings.Contains(text, "resource ledger:") {
+		t.Fatalf("explain-analyze output missing resources section:\n%s", text)
+	}
+}

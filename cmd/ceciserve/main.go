@@ -9,8 +9,10 @@
 //	ceciserve -dataset yt_s -listen 127.0.0.1:8080 -cache-mb 512 -concurrency 8
 //
 // Endpoints: POST /query, GET /healthz, GET /cachez, GET /queryz (flight
-// recorder), GET /tracez/{traceID} (per-query Chrome trace export), plus
-// the telemetry routes (/metrics, /metrics.json, /trace, /debug/pprof/).
+// recorder), GET /tracez/{traceID} (per-query Chrome trace export),
+// GET /statz (telemetry hub: ledgers, rollups, SLO burn), GET /dashz
+// (HTML dashboard), plus the metric routes (/metrics, /metrics.json,
+// /trace, /debug/pprof/).
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops
 // accepting, in-flight queries drain (bounded by -drain), then the
@@ -39,6 +41,7 @@ import (
 	"ceci/internal/order"
 	"ceci/internal/service"
 	"ceci/internal/stats"
+	"ceci/internal/telemetry"
 )
 
 type serveConfig struct {
@@ -60,6 +63,14 @@ type serveConfig struct {
 	auditPath   string  // -audit: write one JSON line per completed query here
 	flightSize  int     // -flight: flight-recorder ring capacity
 	version     bool    // -version: print build identity and exit
+
+	// Telemetry hub (/statz, /dashz): resource ledgers, time-series
+	// rollups, SLO burn rates.
+	telemetry       bool          // -telemetry: enable the hub (on by default)
+	telemetrySample time.Duration // -telemetry-sample: gauge sampling interval
+	sloLatency      time.Duration // -slo-latency: latency SLO target
+	sloObjective    float64       // -slo-objective: fraction of queries under target
+	sloAvailability float64       // -slo-availability: fraction of queries not failing
 
 	errw io.Writer // defaults to os.Stderr; tests capture it
 	outw io.Writer // defaults to os.Stdout; tests capture it
@@ -87,6 +98,11 @@ func main() {
 	flag.StringVar(&cfg.auditPath, "audit", "", "append one JSON line per completed query (the flight-recorder record) to this file")
 	flag.IntVar(&cfg.flightSize, "flight", 0, "flight-recorder ring capacity (0 = default 256)")
 	flag.BoolVar(&cfg.version, "version", false, "print build identity (module version, VCS revision, go version) and exit")
+	flag.BoolVar(&cfg.telemetry, "telemetry", true, "enable the telemetry hub: per-query resource ledgers, /statz, /dashz")
+	flag.DurationVar(&cfg.telemetrySample, "telemetry-sample", 10*time.Second, "telemetry gauge sampling interval")
+	flag.DurationVar(&cfg.sloLatency, "slo-latency", 500*time.Millisecond, "latency SLO target per query")
+	flag.Float64Var(&cfg.sloObjective, "slo-objective", 0.99, "latency SLO objective (fraction of queries under target)")
+	flag.Float64Var(&cfg.sloAvailability, "slo-availability", 0.999, "availability SLO objective (fraction of queries not failing)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -152,6 +168,23 @@ func run(ctx context.Context, cfg serveConfig) error {
 		}
 	}()
 
+	// Telemetry hub: per-query resource ledgers, time-series rollups, and
+	// SLO burn state behind /statz and /dashz. The background sampler
+	// stops with the process.
+	var hub *telemetry.Hub
+	if cfg.telemetry {
+		hub = telemetry.NewHub(telemetry.Options{
+			SampleInterval: cfg.telemetrySample,
+			SLO: telemetry.SLOConfig{
+				LatencyTarget:         cfg.sloLatency,
+				LatencyObjective:      cfg.sloObjective,
+				AvailabilityObjective: cfg.sloAvailability,
+			},
+		})
+		hub.Start()
+		defer hub.Stop()
+	}
+
 	reg := obs.NewRegistry()
 	eng := service.New(data, service.Options{
 		MaxConcurrent:  cfg.concurrency,
@@ -168,6 +201,7 @@ func run(ctx context.Context, cfg serveConfig) error {
 		FlightSize:     cfg.flightSize,
 		Audit:          audit,
 		Stats:          &stats.Counters{},
+		Telemetry:      hub,
 	})
 
 	ln, err := net.Listen("tcp", cfg.listen)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -216,4 +217,123 @@ func TestServeVersion(t *testing.T) {
 	if !strings.Contains(out.String(), "go1.") {
 		t.Fatalf("version output missing go version: %q", out.String())
 	}
+}
+
+// TestServeStatzSmoke boots a server with the telemetry hub enabled,
+// runs a query, and checks the /statz (JSON + text) and /dashz surfaces
+// carry the query's ledger and the SLO state.
+func TestServeStatzSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrc := make(chan string, 1)
+	cfg := serveConfig{
+		dataPath:        "../../testdata/fig1_data.lg",
+		listen:          "127.0.0.1:0",
+		queueDepth:      8,
+		cacheMB:         64,
+		workers:         1,
+		timeout:         30 * time.Second,
+		maxTimeout:      time.Minute,
+		maxLimit:        100,
+		drain:           5 * time.Second,
+		telemetry:       true,
+		telemetrySample: 10 * time.Millisecond,
+		sloLatency:      500 * time.Millisecond,
+		errw:            io.Discard,
+		ready:           func(a string) { addrc <- a },
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server not ready after 10s")
+	}
+	cl := service.NewClient("http://"+addr, nil)
+
+	queryText, err := os.ReadFile("../../testdata/fig1_query.lg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Query(ctx, service.QueryRequest{Query: string(queryText)})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+
+	// The flight record carries the resource ledger.
+	qz, err := cl.Queryz(ctx)
+	if err != nil {
+		t.Fatalf("queryz: %v", err)
+	}
+	if len(qz.Recent) != 1 || qz.Recent[0].Resources == nil || qz.Recent[0].Resources.Units <= 0 {
+		t.Fatalf("flight record missing resource ledger: %+v", qz.Recent)
+	}
+
+	// /statz: the background sampler runs every 10ms, so a populated
+	// series view appears quickly.
+	var doc map[string]json.RawMessage
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw := httpGetBody(t, "http://"+addr+"/statz")
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("statz JSON: %v\n%s", err, raw)
+		}
+		var series map[string]json.RawMessage
+		if err := json.Unmarshal(doc["series"], &series); err == nil && len(series) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("statz series never populated:\n%s", raw)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var queries int
+	if err := json.Unmarshal(doc["queries"], &queries); err != nil || queries != 1 {
+		t.Fatalf("statz queries = %s (%v)", doc["queries"], err)
+	}
+
+	text := string(httpGetBody(t, "http://"+addr+"/statz?format=text"))
+	for _, want := range []string{"slo (", resp.QueryHash} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("statz text missing %q:\n%s", want, text)
+		}
+	}
+	dash := string(httpGetBody(t, "http://"+addr+"/dashz"))
+	if !strings.Contains(strings.ToLower(dash), "<!doctype html>") {
+		t.Fatalf("dashz is not HTML:\n%.200s", dash)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+}
+
+// httpGetBody fetches a URL and returns the body, failing the test on
+// transport or non-200 errors.
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
 }

@@ -122,6 +122,11 @@ func (s *Span) Reset() {
 	s.words = s.words[:0]
 }
 
+// FootprintBytes returns the span's allocated backing size — what the
+// bitmap costs to keep around, independent of the currently filled
+// window. The resource ledger sums these at work-unit boundaries.
+func (s *Span) FootprintBytes() int64 { return int64(cap(s.words)) * 8 }
+
 // Lo returns the smallest value covered by the filled window.
 func (s *Span) Lo() uint32 { return s.base }
 

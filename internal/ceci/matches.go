@@ -32,6 +32,22 @@ type MatchScratch struct {
 	out     []uint32 // result buffer for the volatile per-sibling step
 }
 
+// KernelTotals returns the cumulative per-kernel work recorded on this
+// scratch (all CandidatesFor calls at its depth). The enumeration ledger
+// diffs consecutive reads at work-unit boundaries.
+func (sc *MatchScratch) KernelTotals() setops.KernelStats { return sc.S.Stats }
+
+// FootprintBytes returns the scratch's allocated backing size: the
+// setops buffers plus this package's per-depth slices. nteRes aliases
+// the setops buffers and out, so it is not counted separately.
+func (sc *MatchScratch) FootprintBytes() int64 {
+	return sc.S.FootprintBytes() +
+		int64(cap(sc.lists))*24 + // slice headers
+		int64(cap(sc.prune))*4 +
+		int64(cap(sc.nteKeys))*4 +
+		int64(cap(sc.out))*4
+}
+
 // ResetUnitCache invalidates the cached stable intersection. Enumeration
 // workers call it at work-unit boundaries: the cache would remain
 // correct across units (keys are compared on every lookup), but resets

@@ -18,6 +18,7 @@ import (
 	"ceci/internal/obs"
 	"ceci/internal/prof"
 	"ceci/internal/stats"
+	"ceci/internal/telemetry"
 	"ceci/internal/workload"
 )
 
@@ -53,6 +54,11 @@ type Options struct {
 	// (may be nil). Attach the same collector to the build options to
 	// also capture the filter funnel and index shape.
 	Profile *prof.Collector
+	// Ledger receives the query's resource charges — worker busy time,
+	// recursive calls, embeddings, peak scratch footprint, and the
+	// intersection-kernel mix — accumulated at work-unit boundaries only,
+	// so the zero-allocation depth step stays untouched (may be nil).
+	Ledger *telemetry.Ledger
 }
 
 // Matcher enumerates the embeddings represented by a CECI index.
@@ -328,6 +334,9 @@ func (m *Matcher) runWorker(id int, ctl *control, parent *obs.Span, next func() 
 		elapsed := time.Since(start)
 		m.opts.Clock.Add(id, elapsed)
 		m.opts.Profile.WorkerUnit(id, elapsed)
+		if m.opts.Ledger != nil {
+			s.chargeLedger(elapsed)
+		}
 		if rep := m.opts.Progress; rep != nil {
 			rep.ClusterDone(unit.Card)
 			s.flush()

@@ -140,7 +140,11 @@ func ForEachIncrementalCtx(ctx context.Context, data *graph.Graph, tree *order.Q
 					s = newSearcher(shell, ctl)
 				}
 				ok := s.runUnit(workload.Unit{Prefix: pivotBuf[:1]})
-				eopts.Profile.WorkerUnit(w, time.Since(unitStart))
+				elapsed := time.Since(unitStart)
+				eopts.Profile.WorkerUnit(w, elapsed)
+				if eopts.Ledger != nil {
+					s.chargeLedger(elapsed)
+				}
 				if rep := eopts.Progress; rep != nil {
 					rep.ClusterDone(0)
 					s.flush()

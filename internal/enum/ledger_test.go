@@ -1,0 +1,73 @@
+package enum_test
+
+import (
+	"testing"
+
+	"ceci/internal/enum"
+	"ceci/internal/gen"
+	"ceci/internal/order"
+	"ceci/internal/telemetry"
+)
+
+// TestLedgerCharges runs a full enumeration with a resource ledger
+// attached and checks the charges are consistent with the run: CPU time
+// accrued, unit/call/embedding counts match the enumeration's own
+// counters, kernel work appears when intersections ran, and the scratch
+// footprint is positive.
+func TestLedgerCharges(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	led := telemetry.NewLedger()
+	m := buildMatcher(t, data, query,
+		order.Options{ForcedRoot: 0}, enum.Options{Workers: 2, Ledger: led})
+	n := m.Count()
+	if n == 0 {
+		t.Fatalf("no embeddings")
+	}
+
+	r := led.Snapshot()
+	if r.Units <= 0 {
+		t.Fatalf("no units charged: %+v", r)
+	}
+	if r.Embeddings != n {
+		t.Fatalf("ledger embeddings = %d, enumeration delivered %d", r.Embeddings, n)
+	}
+	if r.RecursiveCalls <= 0 {
+		t.Fatalf("no recursive calls charged: %+v", r)
+	}
+	if r.PeakScratchBytes <= 0 {
+		t.Fatalf("no scratch footprint: %+v", r)
+	}
+	// The Fig.1 query has non-tree edges, so intersections — and with
+	// them kernel work — must have been recorded.
+	var kernelCalls int64
+	for _, k := range r.Kernels {
+		kernelCalls += k.Calls
+	}
+	if kernelCalls <= 0 {
+		t.Fatalf("no kernel work charged: %+v", r.Kernels)
+	}
+}
+
+// TestLedgerRepeatable checks the deterministic charges (everything but
+// CPU time and scratch, which depend on scheduling) are identical across
+// runs of the same single-worker enumeration.
+func TestLedgerRepeatable(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	run := func() *telemetry.Ledger {
+		led := telemetry.NewLedger()
+		m := buildMatcher(t, data, query,
+			order.Options{ForcedRoot: 0}, enum.Options{Workers: 1, Ledger: led})
+		m.Count()
+		return led
+	}
+	a, b := run().Snapshot(), run().Snapshot()
+	if a.Units != b.Units || a.RecursiveCalls != b.RecursiveCalls ||
+		a.Embeddings != b.Embeddings || len(a.Kernels) != len(b.Kernels) {
+		t.Fatalf("ledger not repeatable:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Kernels {
+		if a.Kernels[i] != b.Kernels[i] {
+			t.Fatalf("kernel mix differs: %+v vs %+v", a.Kernels[i], b.Kernels[i])
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package enum
 
 import (
+	"time"
+
 	"ceci/internal/bitset"
 	"ceci/internal/ceci"
 	"ceci/internal/graph"
+	"ceci/internal/setops"
 	"ceci/internal/workload"
 )
 
@@ -26,6 +29,12 @@ type searcher struct {
 	embeddings     int64
 	flushedCalls   int64
 	flushedEmbs    int64
+
+	// Ledger watermarks: the portion of the cumulative counters already
+	// charged to the resource ledger at the last work-unit boundary.
+	ledCalls   int64
+	ledEmbs    int64
+	ledKernels setops.KernelStats
 }
 
 // liveFlushMask batches sink updates: counters drain every 4096
@@ -140,6 +149,33 @@ func (s *searcher) search(depth int) bool {
 		}
 	}
 	return true
+}
+
+// chargeLedger pushes this worker's deltas since the previous charge to
+// the query's resource ledger: the unit's busy time, recursive-call and
+// embedding deltas, the per-kernel work summed across the per-depth
+// scratches, and the worker's current scratch footprint (a handful of
+// atomic adds — runWorker calls it once per completed unit, never inside
+// the depth step).
+func (s *searcher) chargeLedger(elapsed time.Duration) {
+	led := s.m.opts.Ledger
+	var kern setops.KernelStats
+	var scratchBytes int64
+	for i := range s.scratch {
+		k := s.scratch[i].KernelTotals()
+		for j := 0; j < setops.NumKernels; j++ {
+			kern.Calls[j] += k.Calls[j]
+			kern.Scanned[j] += k.Scanned[j]
+			kern.Emitted[j] += k.Emitted[j]
+		}
+		scratchBytes += s.scratch[i].FootprintBytes()
+	}
+	scratchBytes += int64(cap(s.emb))*4 + int64(cap(s.matched)) + int64(len(s.used))*8
+	led.AddUnit(elapsed, s.recursiveCalls-s.ledCalls, s.embeddings-s.ledEmbs, scratchBytes)
+	led.AddKernels(kern.Sub(s.ledKernels))
+	s.ledCalls = s.recursiveCalls
+	s.ledEmbs = s.embeddings
+	s.ledKernels = kern
 }
 
 // flush pushes counter deltas since the last flush to the Stats counters

@@ -43,6 +43,10 @@ type QueryRecord struct {
 	TotalUS int64 `json:"total_us"`
 	// Sampled reports whether spans were recorded for this query.
 	Sampled bool `json:"sampled"`
+	// Resources is the query's resource ledger (CPU, allocations, peak
+	// scratch, kernel mix), present when the engine runs with telemetry
+	// enabled. Unlike Spans it is small and survives in /queryz listings.
+	Resources *QueryResources `json:"resources,omitempty"`
 	// Spans is the stitched span tree (sampled queries only). Omitted
 	// from the /queryz listing; served by /tracez/{traceID}.
 	Spans []*SpanNode `json:"spans,omitempty"`
@@ -186,6 +190,12 @@ func (f *FlightRecorder) Find(traceID string) (QueryRecord, bool) {
 // Text renders the recorder as an aligned table (newest first, then the
 // slowest-K block) for the /queryz?format=text view.
 func (f *FlightRecorder) Text() string {
+	return RecordsText(f.Recent(), f.Slowest())
+}
+
+// RecordsText renders pre-selected (possibly filtered) recent and
+// slowest record lists as the same aligned table Text produces.
+func RecordsText(recent, slowest []QueryRecord) string {
 	var b strings.Builder
 	writeRecords := func(title string, recs []QueryRecord) {
 		fmt.Fprintf(&b, "%s (%d)\n", title, len(recs))
@@ -211,8 +221,8 @@ func (f *FlightRecorder) Text() string {
 				time.Duration(r.TotalUS)*time.Microsecond)
 		}
 	}
-	writeRecords("recent queries", f.Recent())
+	writeRecords("recent queries", recent)
 	b.WriteByte('\n')
-	writeRecords("slowest queries", f.Slowest())
+	writeRecords("slowest queries", slowest)
 	return b.String()
 }

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramExpositionsAgree is a property test over randomized
+// observation streams: the JSON snapshot and the Prometheus text
+// exposition of the same histogram must describe the same distribution —
+// identical cumulative bucket counts, total count, and sum — for any
+// bucket layout and any value stream (including negatives, zeros, and
+// values past the last bound).
+func TestHistogramExpositionsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 50; trial++ {
+		// Random strictly-increasing bucket layout.
+		nb := 1 + rng.Intn(8)
+		bounds := make([]float64, nb)
+		x := rng.Float64() * 10
+		for i := range bounds {
+			x += 0.1 + rng.Float64()*100
+			bounds[i] = x
+		}
+		h := NewHistogram(bounds)
+
+		// Random stream spanning every bucket, both tails included.
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			v := (rng.Float64() - 0.2) * x * 2
+			h.Observe(v)
+		}
+		snap := h.Snapshot()
+
+		// The JSON form round-trips losslessly.
+		b, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromJSON HistogramSnapshot
+		if err := json.Unmarshal(b, &fromJSON); err != nil {
+			t.Fatal(err)
+		}
+		if fromJSON.Count != snap.Count || fromJSON.Sum != snap.Sum ||
+			len(fromJSON.Counts) != len(snap.Counts) {
+			t.Fatalf("trial %d: JSON round-trip changed the snapshot:\n%+v\n%+v",
+				trial, snap, fromJSON)
+		}
+
+		// Parse the Prometheus text back into cumulative buckets.
+		var sb strings.Builder
+		writePromHistogram(&sb, "h", snap)
+		promCum, promSum, promCount := parsePromHistogram(t, sb.String(), "h")
+
+		// Compare against cumulative sums of the JSON per-bucket counts.
+		if len(promCum) != len(snap.Counts) {
+			t.Fatalf("trial %d: prom has %d buckets, JSON %d (bounds %v)",
+				trial, len(promCum), len(snap.Counts), snap.Bounds)
+		}
+		var cum int64
+		for i, c := range snap.Counts {
+			cum += c
+			if promCum[i] != cum {
+				t.Fatalf("trial %d bucket %d: prom cumulative %d, JSON cumulative %d\nprom:\n%s",
+					trial, i, promCum[i], cum, sb.String())
+			}
+		}
+		if promCount != snap.Count || promCum[len(promCum)-1] != snap.Count {
+			t.Fatalf("trial %d: prom count %d (+Inf %d), JSON count %d",
+				trial, promCount, promCum[len(promCum)-1], snap.Count)
+		}
+		// _sum is rendered with %g: compare the parsed value with the same
+		// formatting round-trip tolerance.
+		if math.Abs(promSum-snap.Sum) > 1e-9*math.Max(1, math.Abs(snap.Sum)) {
+			t.Fatalf("trial %d: prom sum %g, JSON sum %g", trial, promSum, snap.Sum)
+		}
+	}
+}
+
+// parsePromHistogram extracts the cumulative bucket counts (in exposition
+// order, +Inf last), the _sum, and the _count from Prometheus text.
+func parsePromHistogram(t *testing.T, text, name string) (cum []int64, sum float64, count int64) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		key, val := fields[0], fields[1]
+		switch {
+		case strings.HasPrefix(key, name+"_bucket{"):
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count %q: %v", line, err)
+			}
+			cum = append(cum, n)
+		case key == name+"_sum":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				t.Fatalf("bad sum %q: %v", line, err)
+			}
+			sum = f
+		case key == name+"_count":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bad count %q: %v", line, err)
+			}
+			count = n
+		}
+	}
+	return cum, sum, count
+}

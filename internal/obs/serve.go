@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -172,16 +171,54 @@ func (r *Registry) snapshot() registrySnapshot {
 	return snap
 }
 
+// GaugeSources evaluates every registered gauge source and returns the
+// results by source name. The telemetry hub samples this periodically
+// into its time-series store.
+func (r *Registry) GaugeSources() map[string]map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fns := make(map[string]func() map[string]int64, len(r.sources))
+	for k, v := range r.sources {
+		fns[k] = v
+	}
+	r.mu.Unlock()
+	out := make(map[string]map[string]int64, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Histograms returns the registered histograms by name (a copy of the
+// map; the histograms themselves are shared and live).
+func (r *Registry) Histograms() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		out[k] = v
+	}
+	return out
+}
+
 // MetricsJSON renders the registry as one JSON document: counters,
-// latest progress, named sources, and runtime stats.
+// latest progress, named sources, and the Go runtime snapshot (scalar
+// gauges plus the GC-pause and scheduler-latency distributions).
 func (r *Registry) MetricsJSON() ([]byte, error) {
 	if r == nil {
 		return []byte("{}"), nil
 	}
 	snap := r.snapshot()
+	rg, rh := RuntimeSnapshot()
 	doc := map[string]any{
-		"counters": snap.counters,
-		"runtime":  runtimeGauges(),
+		"counters":           snap.counters,
+		"runtime":            rg,
+		"runtime_histograms": rh,
 	}
 	if snap.progress != nil {
 		doc["progress"] = snap.progress
@@ -262,7 +299,7 @@ func (r *Registry) PrometheusText() string {
 		}
 	}
 
-	rg := runtimeGauges()
+	rg, rh := RuntimeSnapshot()
 	rks := make([]string, 0, len(rg))
 	for k := range rg {
 		rks = append(rks, k)
@@ -271,6 +308,14 @@ func (r *Registry) PrometheusText() string {
 	for _, k := range rks {
 		name := "ceci_runtime_" + k
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, rg[k])
+	}
+	rhNames := make([]string, 0, len(rh))
+	for k := range rh {
+		rhNames = append(rhNames, k)
+	}
+	sort.Strings(rhNames)
+	for _, k := range rhNames {
+		writePromHistogram(&b, "ceci_runtime_"+k, rh[k])
 	}
 	return b.String()
 }
@@ -291,18 +336,6 @@ func writePromHistogram(b *strings.Builder, name string, s HistogramSnapshot) {
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum)
 	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
-}
-
-func runtimeGauges() map[string]int64 {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return map[string]int64{
-		"goroutines":  int64(runtime.NumGoroutine()),
-		"heap_bytes":  int64(ms.HeapAlloc),
-		"gc_cycles":   int64(ms.NumGC),
-		"gomaxprocs":  int64(runtime.GOMAXPROCS(0)),
-		"alloc_total": int64(ms.TotalAlloc),
-	}
 }
 
 // Handler returns the telemetry mux:

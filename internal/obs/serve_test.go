@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -147,5 +148,48 @@ func TestRegistryNilSafe(t *testing.T) {
 	}
 	if r.Handler() == nil {
 		t.Fatal("nil Handler should still serve")
+	}
+}
+
+// TestRuntimeHistogramExpositions: the Go runtime/metrics histograms
+// (GC pause, scheduler latency) appear in both expositions once the
+// runtime has data — runtime.GC() guarantees at least one pause sample.
+func TestRuntimeHistogramExpositions(t *testing.T) {
+	runtime.GC()
+	reg := NewRegistry()
+
+	out := reg.PrometheusText()
+	for _, want := range []string{
+		"# TYPE ceci_runtime_gc_pause_seconds histogram",
+		"ceci_runtime_gc_pause_seconds_count",
+		`ceci_runtime_gc_pause_seconds_bucket{le="+Inf"}`,
+		"ceci_runtime_sched_latency_seconds_count",
+		"ceci_runtime_heap_goal_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	b, err := reg.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		RuntimeHists map[string]HistogramSnapshot `json:"runtime_histograms"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	gc, ok := doc.RuntimeHists["gc_pause_seconds"]
+	if !ok {
+		t.Fatalf("runtime_histograms missing gc_pause_seconds: %v", doc.RuntimeHists)
+	}
+	if gc.Count <= 0 {
+		t.Fatalf("gc_pause_seconds has no samples after runtime.GC(): %+v", gc)
+	}
+	if len(gc.Counts) != len(gc.Bounds)+1 {
+		t.Fatalf("gc_pause_seconds bucket shape: %d counts for %d bounds",
+			len(gc.Counts), len(gc.Bounds))
 	}
 }

@@ -20,6 +20,11 @@ type Profile struct {
 	Phases   []Phase         `json:"phases,omitempty"`
 
 	Histograms map[string]obs.HistogramSnapshot `json:"histograms,omitempty"`
+
+	// Resources is the run's resource-ledger snapshot (CPU time, work
+	// units, peak scratch footprint, kernel mix), attached by
+	// ExplainAnalyze when a ledger rode the run.
+	Resources *obs.QueryResources `json:"resources,omitempty"`
 }
 
 // VertexProfile is one query vertex's per-stage accounting. The
@@ -282,6 +287,7 @@ func (p Profile) Canonical() Profile {
 	out := p
 	out.Workers = nil
 	out.Phases = nil
+	out.Resources = nil // CPU time and scratch peaks are scheduling accidents
 	out.Histograms = make(map[string]obs.HistogramSnapshot, len(p.Histograms))
 	for name, h := range p.Histograms {
 		if name == "unit_seconds" {

@@ -135,6 +135,11 @@ func (p Profile) Text() string {
 		}
 	}
 
+	if p.Resources != nil {
+		b.WriteString("\n== resources ==\n")
+		b.WriteString(p.Resources.Text())
+	}
+
 	return b.String()
 }
 

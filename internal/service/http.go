@@ -3,13 +3,17 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"ceci/internal/buildinfo"
 	"ceci/internal/graph"
 	"ceci/internal/obs"
+	"ceci/internal/telemetry"
 )
 
 // QueryRequest is the wire form of POST /query. The pattern graph comes
@@ -76,13 +80,19 @@ type QueryzResponse struct {
 //	GET  /healthz           liveness + data graph shape + build identity
 //	GET  /cachez            index cache statistics
 //	GET  /queryz            flight recorder: recent + slowest queries
-//	                        (?format=text for an aligned table)
+//	                        (?format=text for an aligned table;
+//	                        ?limit=N caps each list, ?min_ms=D keeps
+//	                        only queries at least that slow)
 //	GET  /tracez/{traceID}  a sampled query's span tree as Chrome
 //	                        trace_event JSON (?format=jsonl for the
 //	                        compact per-span JSONL form)
+//	GET  /statz             telemetry hub: SLO burn state, per-class
+//	                        costs, time-series rollups (?format=text)
+//	GET  /dashz             self-contained HTML dashboard over /statz
 //
-// When the engine has a Registry, its telemetry routes (/metrics,
-// /metrics.json, /trace, /debug/pprof/) are mounted as the fallback.
+// /statz and /dashz require Options.Telemetry. When the engine has a
+// Registry, its telemetry routes (/metrics, /metrics.json, /trace,
+// /debug/pprof/) are mounted as the fallback.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", e.handleQuery)
@@ -90,6 +100,10 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /cachez", e.handleCachez)
 	mux.HandleFunc("GET /queryz", e.handleQueryz)
 	mux.HandleFunc("GET /tracez/{traceID}", e.handleTracez)
+	if e.opts.Telemetry != nil {
+		mux.HandleFunc("GET /statz", e.handleStatz)
+		mux.HandleFunc("GET /dashz", e.handleDashz)
+	}
 	if reg := e.opts.Registry; reg != nil {
 		mux.Handle("/", reg.Handler())
 	}
@@ -126,6 +140,10 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp, err := e.Query(ctx, req)
 	wire2 := QueryResponse{}
 	if resp != nil {
+		// Server-Timing (phase breakdown plus SLO state): lets browsers
+		// and clients see where the request's time went without parsing
+		// the body.
+		w.Header().Set("Server-Timing", serverTiming(e, resp))
 		wire2 = QueryResponse{
 			Count:      resp.Count,
 			Embeddings: resp.Embeddings,
@@ -165,19 +183,113 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// serverTiming renders the Server-Timing response header: the query's
+// phase durations (queue, build, enum, total) plus the current SLO
+// state ("ok" or "breach").
+func serverTiming(e *Engine, resp *Response) string {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	total := resp.QueueWait + resp.BuildTime + resp.EnumTime
+	s := fmt.Sprintf("queue;dur=%.1f, build;dur=%.1f, enum;dur=%.1f, total;dur=%.1f",
+		ms(resp.QueueWait), ms(resp.BuildTime), ms(resp.EnumTime), ms(total))
+	if h := e.opts.Telemetry; h != nil {
+		state := "ok"
+		if h.SLO().State().Breach() {
+			state = "breach"
+		}
+		s += `, slo;desc="` + state + `"`
+	}
+	return s
+}
+
+// queryzFilters are the /queryz list filters parsed from the URL.
+type queryzFilters struct {
+	limit int           // max records per list; 0 = unlimited
+	minMS time.Duration // keep only queries at least this slow
+}
+
+// parseQueryzFilters validates ?limit= and ?min_ms=. Both are optional;
+// negative or non-numeric values are rejected.
+func parseQueryzFilters(q url.Values) (queryzFilters, error) {
+	var f queryzFilters
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("bad limit %q: want a non-negative integer", s)
+		}
+		f.limit = n
+	}
+	if s := q.Get("min_ms"); s != "" {
+		ms, err := strconv.ParseFloat(s, 64)
+		if err != nil || ms < 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+			return f, fmt.Errorf("bad min_ms %q: want a non-negative number", s)
+		}
+		f.minMS = time.Duration(ms * float64(time.Millisecond))
+	}
+	return f, nil
+}
+
+// apply filters one record list (order preserved).
+func (f queryzFilters) apply(recs []obs.QueryRecord) []obs.QueryRecord {
+	if f.minMS > 0 {
+		kept := recs[:0]
+		for _, r := range recs {
+			if time.Duration(r.TotalUS)*time.Microsecond >= f.minMS {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+	if f.limit > 0 && len(recs) > f.limit {
+		recs = recs[:f.limit]
+	}
+	return recs
+}
+
 // handleQueryz serves the flight recorder: JSON by default, an aligned
-// text table with ?format=text.
+// text table with ?format=text. ?limit= and ?min_ms= filter both lists.
 func (e *Engine) handleQueryz(w http.ResponseWriter, r *http.Request) {
+	f, err := parseQueryzFilters(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	recent := f.apply(e.flight.Recent())
+	slowest := f.apply(e.flight.Slowest())
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, e.flight.Text())
+		fmt.Fprint(w, obs.RecordsText(recent, slowest))
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryzResponse{
 		Total:   e.flight.Total(),
-		Recent:  e.flight.Recent(),
-		Slowest: e.flight.Slowest(),
+		Recent:  recent,
+		Slowest: slowest,
 	})
+}
+
+// handleStatz serves the telemetry hub's full view: SLO burn state,
+// per-class costs, and time-series rollups. JSON by default,
+// ?format=text for aligned tables.
+func (e *Engine) handleStatz(w http.ResponseWriter, r *http.Request) {
+	h := e.opts.Telemetry
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, h.StatzText())
+		return
+	}
+	b, err := h.StatzJSON()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// handleDashz serves the self-contained HTML dashboard.
+func (e *Engine) handleDashz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, telemetry.DashzHTML)
 }
 
 // handleTracez serves one query's span tree by trace ID: Chrome

@@ -19,6 +19,7 @@ import (
 	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/stats"
+	"ceci/internal/telemetry"
 	"ceci/internal/verify"
 )
 
@@ -85,6 +86,11 @@ type Options struct {
 	// Stats, when non-nil, accumulates build/enumeration counters
 	// across all requests.
 	Stats *stats.Counters
+	// Telemetry, when non-nil, receives per-query resource ledgers and
+	// SLO observations, and serves /statz and /dashz. Each query gets a
+	// telemetry.Ledger charged by the enumeration at work-unit
+	// boundaries; the snapshot rides the flight record.
+	Telemetry *telemetry.Hub
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +159,11 @@ type Response struct {
 	// QueryHash identifies the query's isomorphism class (the index
 	// cache key, shortened) — equal for isomorphic patterns.
 	QueryHash string
+	// QueueWait is the time spent waiting for a worker slot.
+	QueueWait time.Duration
+	// Resources is the query's resource ledger snapshot, present when
+	// the engine runs with telemetry enabled.
+	Resources *obs.QueryResources
 }
 
 // buildCall is the singleflight slot for one cache key: concurrent
@@ -241,6 +252,9 @@ func New(data *graph.Graph, opts Options) *Engine {
 		if o.Tracer != nil {
 			reg.SetTracer(o.Tracer)
 		}
+		// The hub samples the registry's gauges and histograms into its
+		// time-series store, and registers its SLO burn gauges back.
+		o.Telemetry.BindRegistry(reg)
 	}
 	return e
 }
@@ -314,12 +328,22 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		ctx = obs.DetachTrace(ctx)
 	}
 
+	// Resource ledger: the enumeration charges it at work-unit
+	// boundaries; the allocation watermark brackets the whole query so
+	// the build phase's allocations are attributed too.
+	var led *telemetry.Ledger
+	var alloc telemetry.AllocWatermark
+	if e.opts.Telemetry != nil {
+		led = telemetry.NewLedger()
+		alloc = telemetry.StartAllocWatermark()
+	}
+
 	waited, err := e.admit(ctx, span)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			e.deadlines.Add(1)
 		}
-		e.finish(tc, span, req, nil, err, start, waited)
+		e.finish(tc, span, req, nil, err, start, waited, led)
 		return nil, err
 	}
 	e.inflight.Add(1)
@@ -328,18 +352,23 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		<-e.sem
 	}()
 
-	resp, err := e.run(ctx, req, span)
+	resp, err := e.run(ctx, req, span, led)
 	if errors.Is(err, context.DeadlineExceeded) {
 		e.deadlines.Add(1)
 	}
+	if led != nil {
+		alloc.ChargeTo(led)
+	}
 	if resp != nil {
 		resp.TraceID = tc.TraceID.String()
+		resp.QueueWait = waited
+		resp.Resources = led.Snapshot()
 		if span != nil {
 			resp.Trace = span.Context()
 			resp.Trace.Sampled = true
 		}
 	}
-	e.finish(tc, span, req, resp, err, start, waited)
+	e.finish(tc, span, req, resp, err, start, waited, led)
 	return resp, err
 }
 
@@ -368,9 +397,11 @@ func statusFor(err error) int {
 // query; trace bookkeeping happens only here, at the request boundary,
 // never inside the enumeration hot path.
 func (e *Engine) finish(tc obs.TraceContext, span *obs.Span, req Request,
-	resp *Response, err error, start time.Time, waited time.Duration) {
+	resp *Response, err error, start time.Time, waited time.Duration,
+	led *telemetry.Ledger) {
 
 	rec := obs.QueryRecord{
+		Resources:       led.Snapshot(),
 		TraceID:         tc.TraceID.String(),
 		Time:            start,
 		QueryVertices:   req.Query.NumVertices(),
@@ -396,6 +427,11 @@ func (e *Engine) finish(tc obs.TraceContext, span *obs.Span, req Request,
 		rec.Spans = e.opts.Tracer.Take(tc.TraceID)
 	}
 	e.flight.Record(rec)
+	if h := e.opts.Telemetry; h != nil {
+		slim := rec
+		slim.Spans = nil // the hub aggregates scalars; span trees stay in the recorder
+		h.ObserveQuery(slim)
+	}
 	if e.audit != nil {
 		audit := rec
 		audit.Spans = nil // the audit log is one line per query, not a span dump
@@ -442,7 +478,7 @@ func (e *Engine) admit(ctx context.Context, span *obs.Span) (time.Duration, erro
 // held. The build and enumeration layers open their own spans beneath
 // the request span they find on ctx, so the trace shows the real
 // phases (build → expand/refine, enumerate) rather than wrappers.
-func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Response, error) {
+func (e *Engine) run(ctx context.Context, req Request, span *obs.Span, led *telemetry.Ledger) (*Response, error) {
 	ent, perm, hit, buildTime, key, err := e.getIndex(ctx, req.Query)
 	qh := queryHash(key)
 	if err != nil {
@@ -480,6 +516,7 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span) (*Respons
 		Workers: e.opts.Workers,
 		Limit:   stopAfter,
 		Stats:   e.opts.Stats,
+		Ledger:  led,
 	})
 
 	enumStart := time.Now()

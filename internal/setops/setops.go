@@ -113,6 +113,15 @@ type Scratch struct {
 	Stats KernelStats
 }
 
+// FootprintBytes returns the scratch's allocated backing size: the two
+// intermediate result buffers, the ordering slice, the two fixed chunk
+// builders, and the probe span bitmap. The resource ledger reads this at
+// work-unit boundaries to track a query's peak scratch memory.
+func (s *Scratch) FootprintBytes() int64 {
+	return int64(cap(s.a))*4 + int64(cap(s.b))*4 + int64(cap(s.order))*8 +
+		2*(bitset.ChunkBits/8) + s.span.FootprintBytes()
+}
+
 // Union writes the sorted union of a and b into dst and returns it.
 // dst must not alias a or b; the rewound form dst = x[:0] is detected
 // and handled by copying that input first (the union outgrows its

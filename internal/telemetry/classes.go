@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ceci/internal/obs"
+)
+
+// ClassStat aggregates every observed query of one canonical class
+// (isomorphism-aware query hash): how often the shape runs, how it
+// fares, and what it costs. This is the table /statz sorts to answer
+// "which query shapes are expensive".
+type ClassStat struct {
+	// Hash is the canonical query hash (obs.QueryRecord.QueryHash).
+	Hash string `json:"hash"`
+	// Vertices is the pattern size.
+	Vertices int `json:"vertices"`
+	// Count is how many queries of this class completed.
+	Count int64 `json:"count"`
+	// Errors counts non-200 outcomes.
+	Errors int64 `json:"errors"`
+	// CacheHits counts index-cache hits.
+	CacheHits int64 `json:"cache_hits"`
+	// TotalUS sums end-to-end latency; MaxUS is the worst instance.
+	TotalUS int64 `json:"total_us"`
+	MaxUS   int64 `json:"max_us"`
+	// Resources is the summed resource ledger across the class (peak
+	// fields take the max; see obs.QueryResources.Add).
+	Resources obs.QueryResources `json:"resources"`
+	// LastSeen is when the class last completed a query.
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// DefaultMaxClasses bounds the class table; long-tail classes beyond it
+// evict the least recently seen.
+const DefaultMaxClasses = 256
+
+// ClassTable aggregates completed queries by canonical class. Safe for
+// concurrent use; bounded by max with least-recently-seen eviction.
+type ClassTable struct {
+	mu      sync.Mutex
+	max     int
+	classes map[string]*ClassStat
+}
+
+// NewClassTable returns a table bounded at max classes
+// (DefaultMaxClasses when non-positive).
+func NewClassTable(max int) *ClassTable {
+	if max <= 0 {
+		max = DefaultMaxClasses
+	}
+	return &ClassTable{max: max, classes: make(map[string]*ClassStat)}
+}
+
+// Observe folds one completed query into its class at time now. Records
+// without a class hash (queries shed before classification) aggregate
+// under the "-" pseudo-class. Nil-safe.
+func (t *ClassTable) Observe(rec obs.QueryRecord, now time.Time) {
+	if t == nil {
+		return
+	}
+	hash := rec.QueryHash
+	if hash == "" {
+		hash = "-"
+	}
+	t.mu.Lock()
+	cs := t.classes[hash]
+	if cs == nil {
+		if len(t.classes) >= t.max {
+			t.evictOldest()
+		}
+		cs = &ClassStat{Hash: hash, Vertices: rec.QueryVertices}
+		t.classes[hash] = cs
+	}
+	cs.Count++
+	if rec.Outcome != 200 {
+		cs.Errors++
+	}
+	if rec.CacheHit {
+		cs.CacheHits++
+	}
+	cs.TotalUS += rec.TotalUS
+	if rec.TotalUS > cs.MaxUS {
+		cs.MaxUS = rec.TotalUS
+	}
+	cs.Resources.Add(rec.Resources)
+	cs.LastSeen = now
+	t.mu.Unlock()
+}
+
+// evictOldest removes the least-recently-seen class. Callers hold t.mu.
+func (t *ClassTable) evictOldest() {
+	var oldest string
+	var oldestAt time.Time
+	first := true
+	for h, cs := range t.classes {
+		if first || cs.LastSeen.Before(oldestAt) {
+			oldest, oldestAt, first = h, cs.LastSeen, false
+		}
+	}
+	delete(t.classes, oldest)
+}
+
+// Snapshot returns the classes sorted by summed enumeration CPU
+// descending (total latency breaks ties) — most expensive shape first.
+func (t *ClassTable) Snapshot() []ClassStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]ClassStat, 0, len(t.classes))
+	for _, cs := range t.classes {
+		out = append(out, *cs)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Resources.CPUUS != out[j].Resources.CPUUS {
+			return out[i].Resources.CPUUS > out[j].Resources.CPUUS
+		}
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Totals sums every class: query count, error count, and the aggregated
+// resource ledger.
+func (t *ClassTable) Totals() (queries, errors int64, res obs.QueryResources) {
+	if t == nil {
+		return 0, 0, obs.QueryResources{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cs := range t.classes {
+		queries += cs.Count
+		errors += cs.Errors
+		res.Add(&cs.Resources)
+	}
+	return queries, errors, res
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ceci/internal/obs"
+)
+
+func TestClassTableAggregation(t *testing.T) {
+	clk := newFakeClock()
+	ct := NewClassTable(8)
+
+	rec := func(hash string, totalUS int64, outcome int, cpuUS int64) obs.QueryRecord {
+		return obs.QueryRecord{
+			QueryHash:     hash,
+			QueryVertices: 3,
+			Outcome:       outcome,
+			TotalUS:       totalUS,
+			Resources:     &obs.QueryResources{CPUUS: cpuUS, Embeddings: 7},
+		}
+	}
+	ct.Observe(rec("aaaa", 100, 200, 50), clk.Now())
+	ct.Observe(rec("aaaa", 300, 500, 70), clk.Now())
+	ct.Observe(rec("bbbb", 900, 200, 10), clk.Now())
+
+	snap := ct.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("classes = %+v", snap)
+	}
+	// Sorted by summed CPU descending: aaaa (120) before bbbb (10).
+	a := snap[0]
+	if a.Hash != "aaaa" || a.Count != 2 || a.Errors != 1 || a.TotalUS != 400 ||
+		a.MaxUS != 300 || a.Resources.CPUUS != 120 || a.Resources.Embeddings != 14 {
+		t.Fatalf("aaaa = %+v", a)
+	}
+	if snap[1].Hash != "bbbb" {
+		t.Fatalf("order = %s, %s", snap[0].Hash, snap[1].Hash)
+	}
+
+	queries, errors, res := ct.Totals()
+	if queries != 3 || errors != 1 || res.CPUUS != 130 || res.Embeddings != 21 {
+		t.Fatalf("totals = %d, %d, %+v", queries, errors, res)
+	}
+
+	// A record with no hash lands in the "-" pseudo-class.
+	ct.Observe(obs.QueryRecord{Outcome: 429, TotalUS: 5}, clk.Now())
+	if q, _, _ := ct.Totals(); q != 4 {
+		t.Fatalf("unclassed record not counted")
+	}
+}
+
+func TestClassTableEviction(t *testing.T) {
+	clk := newFakeClock()
+	ct := NewClassTable(4)
+	for i := 0; i < 6; i++ {
+		ct.Observe(obs.QueryRecord{QueryHash: fmt.Sprintf("h%d", i), Outcome: 200}, clk.Now())
+		clk.Advance(time.Second)
+	}
+	snap := ct.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("table holds %d classes, want 4", len(snap))
+	}
+	for _, cs := range snap {
+		if cs.Hash == "h0" || cs.Hash == "h1" {
+			t.Fatalf("oldest classes not evicted: %+v", snap)
+		}
+	}
+
+	// Re-observing keeps a class fresh across other insertions.
+	ct.Observe(obs.QueryRecord{QueryHash: "h2", Outcome: 200}, clk.Now())
+	clk.Advance(time.Second)
+	for i := 6; i < 9; i++ {
+		ct.Observe(obs.QueryRecord{QueryHash: fmt.Sprintf("h%d", i), Outcome: 200}, clk.Now())
+		clk.Advance(time.Second)
+	}
+	found := false
+	for _, cs := range ct.Snapshot() {
+		if cs.Hash == "h2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recently seen class evicted: %+v", ct.Snapshot())
+	}
+}

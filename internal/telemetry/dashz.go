@@ -1,0 +1,121 @@
+package telemetry
+
+// DashzHTML is the self-contained /dashz dashboard: no external assets,
+// no frameworks. It fetches /statz?format=json on an interval and
+// renders the SLO banner, the per-class cost table, and one SVG
+// sparkline per series from the finest rollup window.
+const DashzHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ceci dashz</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5em; background: #101418; color: #d7dde4; }
+  h1 { font-size: 16px; } h2 { font-size: 14px; margin-top: 1.6em; }
+  a { color: #6ab0f3; }
+  .slo { display: flex; gap: 1em; flex-wrap: wrap; }
+  .card { background: #181e25; border: 1px solid #2a333d; border-radius: 6px;
+          padding: .7em 1em; min-width: 220px; }
+  .card .big { font-size: 20px; }
+  .ok { color: #63d471; } .breach { color: #ff5c57; font-weight: bold; }
+  table { border-collapse: collapse; margin-top: .5em; }
+  th, td { padding: .15em .7em; text-align: right; border-bottom: 1px solid #232b34; }
+  th { color: #8a97a5; } td:first-child, th:first-child { text-align: left; }
+  .charts { display: grid; grid-template-columns: repeat(auto-fill, minmax(290px, 1fr));
+            gap: .8em; margin-top: .5em; }
+  .chart { background: #181e25; border: 1px solid #2a333d; border-radius: 6px; padding: .5em .7em; }
+  .chart .name { color: #8a97a5; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .chart .val { float: right; color: #d7dde4; }
+  svg { display: block; width: 100%; height: 44px; margin-top: .3em; }
+  polyline { fill: none; stroke: #6ab0f3; stroke-width: 1.5; }
+  .err { color: #ff5c57; }
+</style>
+</head>
+<body>
+<h1>ceci dashz <span id="at" style="color:#8a97a5"></span></h1>
+<p><a href="/statz">/statz</a> · <a href="/statz?format=text">/statz?format=text</a> ·
+   <a href="/queryz">/queryz</a> · <a href="/cachez">/cachez</a></p>
+<div id="slo" class="slo"></div>
+<h2>query classes by enum cpu</h2>
+<div id="classes"></div>
+<h2>series</h2>
+<div id="charts" class="charts"></div>
+<script>
+"use strict";
+function fmtDur(us) {
+  if (us >= 1e6) return (us / 1e6).toFixed(2) + "s";
+  if (us >= 1e3) return (us / 1e3).toFixed(2) + "ms";
+  return us + "µs";
+}
+function fmtVal(v) {
+  if (!isFinite(v)) return "-";
+  if (Math.abs(v) >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (Math.abs(v) >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (Math.abs(v) >= 1e3) return (v / 1e3).toFixed(2) + "k";
+  return Math.abs(v) < 10 && v !== Math.round(v) ? v.toFixed(3) : String(v);
+}
+function spark(points) {
+  if (!points || points.length < 2) return "<svg></svg>";
+  const w = 280, h = 40;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of points) { if (p.v < lo) lo = p.v; if (p.v > hi) hi = p.v; }
+  if (hi === lo) { hi += 1; lo -= 1; }
+  const t0 = points[0].t, t1 = points[points.length - 1].t || t0 + 1;
+  const pts = points.map(p =>
+    ((p.t - t0) / (t1 - t0 || 1) * w).toFixed(1) + "," +
+    (h - (p.v - lo) / (hi - lo) * (h - 4) - 2).toFixed(1)).join(" ");
+  return '<svg viewBox="0 0 ' + w + " " + h + '" preserveAspectRatio="none">' +
+         '<polyline points="' + pts + '"/></svg>';
+}
+function sliCard(name, s) {
+  const cls = s.breach ? "breach" : "ok";
+  const state = s.breach ? "BREACH" : "ok";
+  return '<div class="card"><div>' + name + " (objective " + s.objective + ")</div>" +
+    '<div class="big ' + cls + '">' + state + "</div>" +
+    "<div>fast burn " + s.fast_burn.toFixed(2) + " · slow burn " + s.slow_burn.toFixed(2) + "</div>" +
+    "<div>budget remaining " + (s.budget_remaining * 100).toFixed(1) + "%</div></div>";
+}
+function classTable(classes) {
+  if (!classes || !classes.length) return "<p>no queries yet</p>";
+  let t = "<table><tr><th>class</th><th>count</th><th>errs</th><th>hits</th>" +
+          "<th>cpu</th><th>total</th><th>max</th><th>embeddings</th></tr>";
+  for (const c of classes.slice(0, 30)) {
+    t += "<tr><td>" + c.hash + "</td><td>" + c.count + "</td><td>" + c.errors +
+         "</td><td>" + c.cache_hits + "</td><td>" + fmtDur(c.resources.cpu_us) +
+         "</td><td>" + fmtDur(c.total_us) + "</td><td>" + fmtDur(c.max_us) +
+         "</td><td>" + c.resources.embeddings + "</td></tr>";
+  }
+  return t + "</table>";
+}
+async function refresh() {
+  try {
+    const r = await fetch("/statz");
+    const d = await r.json();
+    document.getElementById("at").textContent = "@ " + d.time;
+    document.getElementById("slo").innerHTML =
+      sliCard("latency ≤ " + d.slo.latency_target_ms + "ms", d.slo.latency) +
+      sliCard("availability", d.slo.availability) +
+      '<div class="card"><div>queries</div><div class="big">' + d.queries +
+      '</div><div>' + d.errors + " errors</div></div>";
+    document.getElementById("classes").innerHTML = classTable(d.classes);
+    const names = Object.keys(d.series || {}).sort();
+    let html = "";
+    for (const n of names) {
+      const ws = d.series[n];
+      if (!ws || !ws.length || !ws[0].points || !ws[0].points.length) continue;
+      const pts = ws[0].points;
+      html += '<div class="chart"><div class="name"><span class="val">' +
+        fmtVal(pts[pts.length - 1].v) + "</span>" + n + "</div>" + spark(pts) + "</div>";
+    }
+    document.getElementById("charts").innerHTML = html || "<p>no samples yet</p>";
+  } catch (e) {
+    document.getElementById("at").innerHTML = '<span class="err">fetch failed: ' + e + "</span>";
+  }
+}
+refresh();
+setInterval(refresh, 5000);
+</script>
+</body>
+</html>
+`

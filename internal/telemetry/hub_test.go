@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ceci/internal/obs"
+)
+
+func testHub(clk *fakeClock) *Hub {
+	return NewHub(Options{
+		Now:            clk.Now,
+		Resolutions:    []Resolution{{Step: 10 * time.Second, Len: 30}},
+		SampleInterval: 10 * time.Second,
+		SLO: SLOConfig{
+			LatencyTarget: 100 * time.Millisecond,
+			FastWindow:    time.Minute,
+			SlowWindow:    10 * time.Minute,
+		},
+	})
+}
+
+func TestHubSampleAndStatz(t *testing.T) {
+	clk := newFakeClock()
+	h := testHub(clk)
+
+	reg := obs.NewRegistry()
+	reg.SetSource("svc", func() map[string]int64 { return map[string]int64{"inflight": 3} })
+	lat := obs.NewHistogram(obs.LatencyBuckets())
+	lat.Observe(0.002)
+	lat.Observe(0.004)
+	reg.SetHistogram("query_seconds", lat)
+	h.BindRegistry(reg)
+
+	h.ObserveQuery(obs.QueryRecord{
+		QueryHash: "cafe", QueryVertices: 4, Outcome: 200, TotalUS: 1500,
+		Resources: &obs.QueryResources{CPUUS: 1200, Units: 2, Embeddings: 10},
+	})
+	h.ObserveQuery(obs.QueryRecord{
+		QueryHash: "cafe", QueryVertices: 4, Outcome: 504, TotalUS: 900000,
+	})
+
+	h.Sample()
+	clk.Advance(10 * time.Second)
+	h.Sample()
+
+	var doc Statz
+	b, err := h.StatzJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Queries != 2 || doc.Errors != 1 {
+		t.Fatalf("queries/errors = %d/%d", doc.Queries, doc.Errors)
+	}
+	if len(doc.Classes) != 1 || doc.Classes[0].Hash != "cafe" || doc.Classes[0].Count != 2 {
+		t.Fatalf("classes = %+v", doc.Classes)
+	}
+	if doc.Totals.CPUUS != 1200 || doc.Totals.Embeddings != 10 {
+		t.Fatalf("totals = %+v", doc.Totals)
+	}
+
+	// Sampled series: registry gauges, histogram derivations, ledger
+	// aggregates, runtime gauges, SLO burns.
+	for _, name := range []string{
+		"svc_inflight", "query_seconds_count", "query_seconds_p50",
+		"ledger_queries", "ledger_cpu_seconds",
+		"runtime_goroutines", "runtime_heap_bytes",
+		"slo_availability_slow_burn",
+	} {
+		ws, ok := doc.Series[name]
+		if !ok || len(ws) == 0 || len(ws[0].Points) == 0 {
+			t.Fatalf("series %q missing from statz (have %d series)", name, len(doc.Series))
+		}
+	}
+	if pts := doc.Series["svc_inflight"][0].Points; len(pts) != 2 || pts[1].V != 3 {
+		t.Fatalf("svc_inflight = %+v, want two samples of 3", pts)
+	}
+	if pts := doc.Series["ledger_queries"][0].Points; pts[len(pts)-1].V != 2 {
+		t.Fatalf("ledger_queries = %+v", pts)
+	}
+
+	// One failed query of two, availability objective 0.999 → slow burn
+	// 0.5/0.001 = 500.
+	if got := doc.SLO.Availability.SlowBurn; got < 499.99 || got > 500.01 {
+		t.Fatalf("availability slow burn = %g, want ~500", got)
+	}
+	if !doc.SLO.Availability.Breach {
+		t.Fatalf("burn 500 must breach")
+	}
+
+	// The SLO gauge source registered back into the registry.
+	gs := reg.GaugeSources()
+	if gs["slo"]["availability_breach"] != 1 {
+		t.Fatalf("slo gauge source = %+v", gs["slo"])
+	}
+
+	text := h.StatzText()
+	for _, want := range []string{"slo (latency target 100ms", "BREACH", "cafe", "resource ledger:", "series ("} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("statz text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHubHistogramDeltaQuantiles(t *testing.T) {
+	clk := newFakeClock()
+	h := testHub(clk)
+	reg := obs.NewRegistry()
+	hist := obs.NewHistogram([]float64{1, 10, 100})
+	reg.SetHistogram("card", hist)
+	h.BindRegistry(reg)
+
+	// First window: values near 1.
+	hist.Observe(0.5)
+	hist.Observe(0.6)
+	h.Sample()
+	clk.Advance(10 * time.Second)
+
+	// Second window: values near 100. The p50 series must reflect only
+	// the delta window, not the cumulative distribution.
+	for i := 0; i < 10; i++ {
+		hist.Observe(60)
+	}
+	h.Sample()
+
+	pts := h.Store().Snapshot()["card_p50"][0].Points
+	if len(pts) != 2 {
+		t.Fatalf("p50 points = %+v", pts)
+	}
+	if last := pts[len(pts)-1].V; last <= 10 || last > 100 {
+		t.Fatalf("delta-window p50 = %g, want within (10,100] bucket", last)
+	}
+	cnt := h.Store().Snapshot()["card_count"][0].Points
+	if cnt[len(cnt)-1].V != 12 {
+		t.Fatalf("count series = %+v, want cumulative 12", cnt)
+	}
+}
+
+func TestHubStartStop(t *testing.T) {
+	h := NewHub(Options{SampleInterval: time.Millisecond})
+	h.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ws, ok := h.Store().Snapshot()["runtime_goroutines"]; ok && len(ws[0].Points) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background sampler produced no samples")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+
+	unstarted := NewHub(Options{})
+	unstarted.Stop() // must not hang
+}

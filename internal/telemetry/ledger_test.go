@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"ceci/internal/setops"
+)
+
+func TestLedgerSnapshot(t *testing.T) {
+	l := NewLedger()
+	l.AddUnit(2*time.Millisecond, 10, 3, 4096)
+	l.AddUnit(3*time.Millisecond, 20, 5, 1024) // smaller scratch: peak keeps 4096
+
+	var d setops.KernelStats
+	d.Calls[setops.KernelMerge] = 4
+	d.Scanned[setops.KernelMerge] = 400
+	d.Emitted[setops.KernelMerge] = 40
+	d.Calls[setops.KernelProbe] = 2
+	d.Scanned[setops.KernelProbe] = 100
+	d.Emitted[setops.KernelProbe] = 10
+	l.AddKernels(d)
+	l.SetAllocDelta(1<<20, 99)
+
+	r := l.Snapshot()
+	if r.CPUUS != 5000 || r.Units != 2 || r.RecursiveCalls != 30 || r.Embeddings != 8 {
+		t.Fatalf("snapshot = %+v", r)
+	}
+	if r.PeakScratchBytes != 4096 {
+		t.Fatalf("peak scratch = %d, want max not sum", r.PeakScratchBytes)
+	}
+	if r.AllocBytes != 1<<20 || r.AllocObjects != 99 {
+		t.Fatalf("alloc delta = %d/%d", r.AllocBytes, r.AllocObjects)
+	}
+	if len(r.Kernels) != 2 {
+		t.Fatalf("kernel mix = %+v, want merge and probe only", r.Kernels)
+	}
+	if r.Kernels[0].Kernel != "merge" || r.Kernels[0].Calls != 4 || r.Kernels[0].Scanned != 400 {
+		t.Fatalf("merge mix = %+v", r.Kernels[0])
+	}
+	if r.Kernels[1].Kernel != "probe" || r.Kernels[1].Emitted != 10 {
+		t.Fatalf("probe mix = %+v", r.Kernels[1])
+	}
+}
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.AddUnit(time.Second, 1, 1, 1)
+	l.AddKernels(setops.KernelStats{})
+	l.SetAllocDelta(1, 1)
+	if l.Snapshot() != nil {
+		t.Fatalf("nil ledger snapshot must be nil")
+	}
+	AllocWatermark{}.ChargeTo(nil) // must not panic
+}
+
+func TestLedgerChargeAllocFree(t *testing.T) {
+	l := NewLedger()
+	var d setops.KernelStats
+	d.Calls[setops.KernelBitset] = 1
+	avg := testing.AllocsPerRun(100, func() {
+		l.AddUnit(time.Microsecond, 5, 1, 2048)
+		l.AddKernels(d)
+	})
+	if avg != 0 {
+		t.Fatalf("ledger charge allocates %.1f times per unit", avg)
+	}
+}
+
+func TestAllocWatermark(t *testing.T) {
+	l := NewLedger()
+	w := StartAllocWatermark()
+	sink = make([]byte, 1<<16)
+	w.ChargeTo(l)
+	r := l.Snapshot()
+	if r.AllocBytes < 1<<16 {
+		t.Fatalf("alloc delta = %d, want >= %d", r.AllocBytes, 1<<16)
+	}
+	if r.AllocObjects < 1 {
+		t.Fatalf("alloc objects = %d", r.AllocObjects)
+	}
+}
+
+// sink defeats allocation sinking in TestAllocWatermark.
+var sink []byte

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ceci/internal/obs"
+)
+
+// fakeClock is a hand-advanced clock shared by the deterministic tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 0, 0, time.UTC)}
+}
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestStoreRollups(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(clk.Now, []Resolution{
+		{Step: 10 * time.Second, Len: 6},
+		{Step: time.Minute, Len: 4},
+	})
+
+	// One observation every 10s for two minutes; the value counts up.
+	for i := 0; i < 12; i++ {
+		st.Observe("v", float64(i))
+		clk.Advance(10 * time.Second)
+	}
+
+	snap := st.Snapshot()
+	ws, ok := snap["v"]
+	if !ok || len(ws) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// Finest ring holds the last 6 buckets: values 6..11.
+	fine := ws[0]
+	if fine.StepSeconds != 10 || len(fine.Points) != 6 {
+		t.Fatalf("fine window = %+v", fine)
+	}
+	for i, p := range fine.Points {
+		if want := float64(6 + i); p.V != want {
+			t.Fatalf("fine point %d = %+v, want V=%g", i, p, want)
+		}
+		if i > 0 && p.T != fine.Points[i-1].T+10 {
+			t.Fatalf("fine timestamps not 10s apart: %+v", fine.Points)
+		}
+	}
+
+	// Minute ring: last value within each minute wins (values 5 and 11),
+	// plus the in-progress bucket the final advance opened... the last
+	// write happened at t=110s (bucket minute 1, value 11); minute 0
+	// closed with value 5.
+	coarse := ws[1]
+	if coarse.StepSeconds != 60 || len(coarse.Points) != 2 {
+		t.Fatalf("coarse window = %+v", coarse)
+	}
+	if coarse.Points[0].V != 5 || coarse.Points[1].V != 11 {
+		t.Fatalf("coarse rollup = %+v, want last-value 5 then 11", coarse.Points)
+	}
+}
+
+func TestStoreGapsAreVoided(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(clk.Now, []Resolution{{Step: 10 * time.Second, Len: 4}})
+	st.Observe("g", 1)
+	clk.Advance(30 * time.Second) // skip two buckets
+	st.Observe("g", 2)
+
+	pts := st.Snapshot()["g"][0].Points
+	if len(pts) != 2 || pts[0].V != 1 || pts[1].V != 2 {
+		t.Fatalf("points = %+v, want the two written values only", pts)
+	}
+	if pts[1].T-pts[0].T != 30 {
+		t.Fatalf("gap not preserved in timestamps: %+v", pts)
+	}
+
+	// A lap-sized gap must void the whole ring, not resurface stale values.
+	clk.Advance(10 * time.Minute)
+	st.Observe("g", 3)
+	pts = st.Snapshot()["g"][0].Points
+	if len(pts) != 1 || pts[0].V != 3 {
+		t.Fatalf("after full-ring gap, points = %+v, want just the new value", pts)
+	}
+}
+
+func TestStoreObserveSteadyStateAllocs(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(clk.Now, DefaultResolutions())
+	st.Observe("hot", 0) // create the series
+	avg := testing.AllocsPerRun(100, func() {
+		st.Observe("hot", 1)
+	})
+	if avg != 0 {
+		t.Fatalf("Observe allocates %.1f times per call in steady state", avg)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	// 100 observations: 50 in (0,10], 40 in (10,20], 10 in (20, +Inf).
+	s := obs.HistogramSnapshot{
+		Bounds: []float64{10, 20},
+		Counts: []int64{50, 40, 10},
+		Count:  100,
+	}
+	if q := Quantile(s, 0.5); q != 10 {
+		t.Fatalf("p50 = %g, want 10 (rank 50 closes the first bucket)", q)
+	}
+	if q := Quantile(s, 0.25); q != 5 {
+		t.Fatalf("p25 = %g, want 5 (midway through the first bucket)", q)
+	}
+	if q := Quantile(s, 0.75); q != 16.25 {
+		t.Fatalf("p75 = %g, want 16.25", q)
+	}
+	// Quantiles landing in +Inf clamp to the last finite bound.
+	if q := Quantile(s, 0.99); q != 20 {
+		t.Fatalf("p99 = %g, want clamp to 20", q)
+	}
+	if q := Quantile(obs.HistogramSnapshot{}, 0.5); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %g, want NaN", q)
+	}
+}
