@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare bench-allocs bench-kernels vet fmt ci verify fuzz serve-smoke trace-smoke experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare bench-allocs bench-kernels vet fmt ci verify fuzz serve-smoke trace-smoke plan-smoke experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -79,7 +79,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/setops ./internal/bitset ./internal/verify ./internal/service ./cmd/ceciserve
+	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/plan ./internal/setops ./internal/bitset ./internal/verify ./internal/service ./cmd/ceciserve
 
 # Boot the query service on the Figure 1 fixture and exercise the HTTP
 # API end to end (also run raced by CI's service-smoke job).
@@ -91,6 +91,18 @@ serve-smoke:
 # Chrome export, audit flush (also run raced by CI's service-smoke job).
 trace-smoke:
 	$(GO) test -race -run 'TestServeTraceAuditFlush|TestTraced|TestRunTCPConnectedSpanTree' -v ./cmd/ceciserve ./internal/service ./internal/cluster
+
+# Planner smoke: the cost model and planner property tests raced, the
+# adaptive paths (EXPLAIN ANALYZE planner section, service drift
+# re-plan) raced, the planner-on/off differential sweep, and the
+# cecibench order matrix asserting the planner never does more
+# enumeration work than the best static heuristic (also run by CI's
+# planner-smoke job).
+plan-smoke:
+	$(GO) test -race ./internal/plan
+	$(GO) test -race -run 'TestPlanner|TestExplainAnalyzePlanner' . ./internal/service
+	$(GO) test -run TestDifferentialPlannerOrders -short ./internal/verify
+	$(GO) run ./cmd/cecibench -exp orders -quick
 
 # Telemetry smoke: the hub's deterministic unit tests raced, then the
 # /statz + /dashz + Server-Timing surfaces through the in-process server

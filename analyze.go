@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ceci/internal/enum"
 	"ceci/internal/obs"
 	"ceci/internal/prof"
 )
@@ -53,6 +54,11 @@ func ExplainAnalyze(data, query *Graph, opts *Options) (*Report, error) {
 		o.Ledger = NewLedger()
 	}
 	o.profile = prof.New()
+	if o.Planner {
+		// Per-depth observed selectivities let the report put measured
+		// cost next to the planner's estimate.
+		o.depth = enum.NewDepthStats(query.NumVertices())
+	}
 
 	buildStart := time.Now()
 	m, err := Match(data, query, &o)
@@ -69,6 +75,7 @@ func ExplainAnalyze(data, query *Graph, opts *Options) (*Report, error) {
 	decorateProfile(&p, m)
 	p.SetPhases(o.Tracer.PhaseDurations())
 	p.Resources = o.Ledger.Snapshot()
+	plannerProfile(&p, m, &o)
 
 	return &Report{
 		Plan:       m.Explain(),
@@ -96,6 +103,66 @@ func decorateProfile(p *Profile, m *Matcher) {
 			v.Labels = append(v.Labels, int(l))
 		}
 	}
+}
+
+// plannerProfile records how the matching order was chosen: the order
+// itself and its source always, plus — when the cost-based planner ran —
+// every candidate's estimate and the estimated-versus-observed per-depth
+// funnel (recosted with the run's measured selectivities).
+func plannerProfile(p *Profile, m *Matcher, o *Options) {
+	tree := m.index.Tree
+	p.MatchingOrder = intOrder(tree.Order)
+	dec := m.decision
+	if dec == nil {
+		p.Order = o.Order.String()
+		return
+	}
+	p.Order = "auto:" + dec.Chosen
+	pp := &prof.PlannerProfile{
+		Chosen:     dec.Chosen,
+		Order:      intOrder(dec.Order),
+		Estimate:   dec.Estimate,
+		Calibrated: dec.Calibrated,
+	}
+	for _, c := range dec.Candidates {
+		pp.Candidates = append(pp.Candidates, prof.PlannerCandidate{
+			Name:     c.Name,
+			Order:    intOrder(c.Order),
+			Estimate: c.Cost,
+			Chosen:   c.Name == dec.Chosen,
+		})
+	}
+	for _, d := range dec.PerDepth {
+		pp.Depths = append(pp.Depths, prof.PlannerDepth{
+			Vertex:   d.Vertex,
+			EstCalls: d.Calls,
+			EstOut:   d.Out,
+		})
+	}
+	if o.depth != nil {
+		lookups, emitted := o.depth.Snapshot()
+		for i := range pp.Depths {
+			if i >= len(lookups) {
+				break
+			}
+			pp.Depths[i].ObsCalls = lookups[i]
+			if lookups[i] > 0 {
+				pp.Depths[i].ObsOut = float64(emitted[i]) / float64(lookups[i])
+			}
+		}
+		if calib := dec.Calibration(lookups, emitted); calib != nil {
+			pp.Observed = m.planner.EstimateOrder(dec.Chosen, dec.Order, calib).Cost
+		}
+	}
+	p.Planner = pp
+}
+
+func intOrder(ord []VertexID) []int {
+	out := make([]int, len(ord))
+	for i, u := range ord {
+		out[i] = int(u)
+	}
+	return out
 }
 
 // Text renders the report for a terminal: the static plan, the measured

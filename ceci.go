@@ -47,6 +47,7 @@ import (
 	"ceci/internal/graph"
 	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/plan"
 	"ceci/internal/prof"
 	"ceci/internal/stats"
 	"ceci/internal/telemetry"
@@ -173,7 +174,16 @@ type Options struct {
 	// (default 0.2, the paper's §6.3 setting).
 	Beta float64
 	// Order selects the matching-order heuristic (default OrderBFS).
+	// Ignored when Planner is set.
 	Order OrderHeuristic
+	// Planner enables cost-based matching-order selection: every static
+	// heuristic's order plus a greedy min-cost order are scored by the
+	// cardinality model of internal/plan — built from label frequencies,
+	// NLC selectivities, and filtered candidate counts — and the
+	// cheapest is used. ExplainAnalyze then reports the estimate of
+	// every order considered alongside the observed per-depth
+	// selectivities.
+	Planner bool
 	// Root, when non-nil, forces the root query vertex; nil selects it
 	// by the paper's argmin |cand(u)|/deg(u) cost rule.
 	Root *VertexID
@@ -208,6 +218,10 @@ type Options struct {
 	// profile, when non-nil, threads the EXPLAIN ANALYZE collector
 	// through the build and the enumeration. Set by ExplainAnalyze.
 	profile *prof.Collector
+	// depth, when non-nil, receives per-depth observed selectivities
+	// during enumeration. Set by ExplainAnalyze under Planner so the
+	// report can compare estimated against observed cost.
+	depth *enum.DepthStats
 }
 
 func (o *Options) normalized() Options {
@@ -229,7 +243,16 @@ type Matcher struct {
 	inner *enum.Matcher
 	index *icec.Index
 	opts  Options
+
+	// planner/decision are set when Options.Planner chose the order.
+	planner  *plan.Planner
+	decision *plan.Decision
 }
+
+// Plan returns the cost-based planner's decision for this matcher —
+// the chosen order, its estimate, and every candidate considered — or
+// nil when Options.Planner was off.
+func (m *Matcher) Plan() *plan.Decision { return m.decision }
 
 // Match preprocesses the query, builds the CECI index, and returns a
 // Matcher ready to enumerate. opts may be nil for defaults.
@@ -255,10 +278,24 @@ func MatchCtx(ctx context.Context, data, query *Graph, opts *Options) (*Matcher,
 		forcedRoot = int(*o.Root)
 	}
 	psp := obs.StartUnder(ctx, o.Tracer, "preprocess")
-	tree, err := order.Preprocess(data, query, order.Options{
-		ForcedRoot: forcedRoot,
-		Heuristic:  o.Order,
-	})
+	var tree *order.QueryTree
+	var planner *plan.Planner
+	var decision *plan.Decision
+	var err error
+	if o.Planner {
+		planner, err = plan.New(data, query, plan.Options{ForcedRoot: forcedRoot})
+		if err == nil {
+			decision, err = planner.Decide(nil)
+		}
+		if decision != nil {
+			tree = decision.Tree
+		}
+	} else {
+		tree, err = order.Preprocess(data, query, order.Options{
+			ForcedRoot: forcedRoot,
+			Heuristic:  o.Order,
+		})
+	}
 	psp.End()
 	if err != nil {
 		return nil, err
@@ -285,8 +322,9 @@ func MatchCtx(ctx context.Context, data, query *Graph, opts *Options) (*Matcher,
 		Progress:                o.reporter(),
 		Profile:                 o.profile,
 		Ledger:                  o.Ledger,
+		Depth:                   o.depth,
 	})
-	return &Matcher{inner: m, index: ix, opts: o}, nil
+	return &Matcher{inner: m, index: ix, opts: o, planner: planner, decision: decision}, nil
 }
 
 // reporter builds the live-progress reporter for a run, nil when no
@@ -421,10 +459,16 @@ func ForEachIncrementalCtx(ctx context.Context, data, query *Graph, opts *Option
 		forcedRoot = int(*o.Root)
 	}
 	psp := obs.StartUnder(ctx, o.Tracer, "preprocess")
-	tree, err := order.Preprocess(data, query, order.Options{
-		ForcedRoot: forcedRoot,
-		Heuristic:  o.Order,
-	})
+	var tree *order.QueryTree
+	var err error
+	if o.Planner {
+		tree, _, err = plan.Choose(data, query, plan.Options{ForcedRoot: forcedRoot})
+	} else {
+		tree, err = order.Preprocess(data, query, order.Options{
+			ForcedRoot: forcedRoot,
+			Heuristic:  o.Order,
+		})
+	}
 	psp.End()
 	if err != nil {
 		return err

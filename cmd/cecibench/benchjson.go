@@ -77,6 +77,16 @@ type CaseResult struct {
 	// Profile is the filter-funnel summary from the EXPLAIN ANALYZE
 	// collector — deterministic totals across the whole run.
 	Profile map[string]int64 `json:"profile,omitempty"`
+
+	// Order is how the matching order was chosen ("bfs", ...,
+	// "auto:<winner>" under the planner); MatchingOrder is the order
+	// itself; PlannerEstimate is the cost model's estimate for it (0
+	// when the planner was off). Order changes are reported by -compare
+	// but never gated — the gated counters above already catch any real
+	// cost of an order switch.
+	Order           string  `json:"order,omitempty"`
+	MatchingOrder   []int   `json:"matching_order,omitempty"`
+	PlannerEstimate float64 `json:"planner_estimate,omitempty"`
 }
 
 type benchJSONConfig struct {
@@ -86,6 +96,7 @@ type benchJSONConfig struct {
 	candidate string  // pre-recorded candidate json ("" = run the suite)
 	threshold float64 // relative regression threshold for timing metrics
 	workers   int
+	order     string // matching order: a heuristic name or "auto" (default bfs)
 }
 
 // runBenchJSON drives the machine-readable benchmark modes: run the
@@ -100,7 +111,7 @@ func runBenchJSON(cfg benchJSONConfig) error {
 		}
 		cur = loaded
 	} else {
-		measured, err := measureSuite(cfg.name, cfg.workers)
+		measured, err := measureSuite(cfg.name, cfg.workers, cfg.order)
 		if err != nil {
 			return err
 		}
@@ -151,7 +162,9 @@ func loadBenchResult(path string) (*BenchResult, error) {
 
 // measureSuite runs every suite case benchReps times and records the
 // median timings plus the deterministic counters of the final rep.
-func measureSuite(name string, workers int) (*BenchResult, error) {
+// orderName selects the matching order for every case: a heuristic name
+// or "auto" for the cost-based planner ("" = bfs, the default).
+func measureSuite(name string, workers int, orderName string) (*BenchResult, error) {
 	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0) // oversubscription only adds noise
 	}
@@ -177,6 +190,9 @@ func measureSuite(name string, workers int) (*BenchResult, error) {
 		for rep := 0; rep < benchReps; rep++ {
 			st := &ceci.Stats{}
 			opts := &ceci.Options{Workers: workers, Stats: st}
+			if err := applyOrder(opts, orderName); err != nil {
+				return nil, err
+			}
 			buildStart := time.Now()
 			m, err := ceci.Match(data, query, opts)
 			if err != nil {
@@ -211,11 +227,20 @@ func measureSuite(name string, workers int) (*BenchResult, error) {
 		}
 		// One profiled run for the funnel summary (kept out of the timed
 		// reps so instrumentation can never shift the timing metrics).
-		rep, err := ceci.ExplainAnalyze(data, query, &ceci.Options{Workers: workers})
+		profOpts := &ceci.Options{Workers: workers}
+		if err := applyOrder(profOpts, orderName); err != nil {
+			return nil, err
+		}
+		rep, err := ceci.ExplainAnalyze(data, query, profOpts)
 		if err != nil {
 			return nil, err
 		}
 		cr.Profile = rep.Profile.FunnelTotals()
+		cr.Order = rep.Profile.Order
+		cr.MatchingOrder = rep.Profile.MatchingOrder
+		if pp := rep.Profile.Planner; pp != nil {
+			cr.PlannerEstimate = pp.Estimate
+		}
 
 		cr.BuildNS = int64(median(builds))
 		cr.EnumNS = int64(median(enums))
@@ -281,6 +306,10 @@ func compareBench(w io.Writer, base, cur *BenchResult, threshold float64) int {
 			}
 			fmt.Fprintf(w, "%-12s %-20s %14.0f %14.0f %9s  %s\n", k, metric, baseV, curV, delta, verdict)
 		}
+		if b.Order != "" && c.Order != "" && b.Order != c.Order {
+			fmt.Fprintf(w, "%-12s %-20s %14s %14s %9s  order changed (not gated)\n",
+				k, "order", b.Order, c.Order, "-")
+		}
 		row("embeddings", float64(b.Embeddings), float64(c.Embeddings), c.Embeddings != b.Embeddings)
 		row("build_ns", float64(b.BuildNS), float64(c.BuildNS), exceeds(c.BuildNS, b.BuildNS, threshold))
 		row("total_ns", float64(b.TotalNS), float64(c.TotalNS), exceeds(c.TotalNS, b.TotalNS, threshold))
@@ -317,6 +346,26 @@ func compareBench(w io.Writer, base, cur *BenchResult, threshold float64) int {
 		}
 	}
 	return regressions
+}
+
+// applyOrder maps a -order flag value onto match options: a static
+// heuristic by name, or "auto" for the cost-based planner.
+func applyOrder(opts *ceci.Options, name string) error {
+	switch strings.ToLower(name) {
+	case "", "bfs":
+		opts.Order = ceci.OrderBFS
+	case "least-frequent":
+		opts.Order = ceci.OrderLeastFrequent
+	case "path-ranked":
+		opts.Order = ceci.OrderPathRanked
+	case "edge-ranked":
+		opts.Order = ceci.OrderEdgeRanked
+	case "auto":
+		opts.Planner = true
+	default:
+		return fmt.Errorf("unknown order %q", name)
+	}
+	return nil
 }
 
 // exceeds reports whether cur has grown past base by more than the

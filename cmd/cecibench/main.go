@@ -54,6 +54,7 @@ var experiments = []experiment{
 	{"fig18", "recursive-call reduction vs PsgL (Figure 18)", runFig18},
 	{"fig19", "speedup breakdown over bare-graph baseline (Figure 19)", runFig19},
 	{"fig20", "CECI construction cost breakdown: IO/comm/compute (Figure 20)", runFig20},
+	{"orders", "matching-order matrix: every heuristic vs the cost-based planner on the Fig 7/8 suite", runOrders},
 }
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced datasets and query counts")
 		large   = flag.Bool("large", false, "include the largest substitutes (fs_s, yh_s) where skipped by default")
 		workers = flag.Int("workers", 32, "simulated worker-count ceiling for scalability figures")
+		orderFl = flag.String("order", "", "matching order for the BENCH json suite: bfs | least-frequent | path-ranked | edge-ranked | auto (cost-based planner)")
 		listen  = flag.String("listen", "", "serve telemetry (/metrics, /metrics.json, /debug/pprof) on this address while experiments run")
 
 		jsonOut   = flag.String("json-out", "", "run the regression suite and write BENCH_<name>.json into this directory")
@@ -87,6 +89,7 @@ func main() {
 			candidate: *candidate,
 			threshold: *threshold,
 			workers:   *workers,
+			order:     *orderFl,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cecibench: %v\n", err)

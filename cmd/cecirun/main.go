@@ -94,7 +94,7 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort after this long, reporting partial counts and exiting non-zero (0 = no deadline)")
 	flag.StringVar(&cfg.strategy, "strategy", "fgd", "workload strategy: st | cgd | fgd")
 	flag.Float64Var(&cfg.beta, "beta", 0.2, "extreme-cluster threshold factor")
-	flag.StringVar(&cfg.orderName, "order", "bfs", "matching order: bfs | least-frequent | path-ranked | edge-ranked")
+	flag.StringVar(&cfg.orderName, "order", "bfs", "matching order: bfs | least-frequent | path-ranked | edge-ranked | auto (cost-based planner)")
 	flag.BoolVar(&cfg.edgeVerif, "edge-verification", false, "ablation: verify non-tree edges by adjacency probes")
 	flag.BoolVar(&cfg.printEmbs, "print", false, "print each embedding")
 	flag.BoolVar(&cfg.verbose, "v", false, "print index statistics and counters")
@@ -184,6 +184,8 @@ func run(ctx context.Context, cfg runConfig) error {
 		opts.Order = ceci.OrderPathRanked
 	case "edge-ranked":
 		opts.Order = ceci.OrderEdgeRanked
+	case "auto":
+		opts.Planner = true
 	default:
 		return fmt.Errorf("unknown order %q", cfg.orderName)
 	}

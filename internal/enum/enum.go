@@ -59,6 +59,11 @@ type Options struct {
 	// intersection-kernel mix — accumulated at work-unit boundaries only,
 	// so the zero-allocation depth step stays untouched (may be nil).
 	Ledger *telemetry.Ledger
+	// Depth receives per-matching-order-depth lookup/output counts — the
+	// observed selectivities the cost-based planner's drift detector
+	// compares against its estimate. Charged at work-unit boundaries
+	// under the same watermark pattern as Ledger (may be nil).
+	Depth *DepthStats
 }
 
 // Matcher enumerates the embeddings represented by a CECI index.
@@ -337,6 +342,7 @@ func (m *Matcher) runWorker(id int, ctl *control, parent *obs.Span, next func() 
 		if m.opts.Ledger != nil {
 			s.chargeLedger(elapsed)
 		}
+		s.chargeDepth()
 		if rep := m.opts.Progress; rep != nil {
 			rep.ClusterDone(unit.Card)
 			s.flush()

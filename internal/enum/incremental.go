@@ -145,6 +145,7 @@ func ForEachIncrementalCtx(ctx context.Context, data *graph.Graph, tree *order.Q
 				if eopts.Ledger != nil {
 					s.chargeLedger(elapsed)
 				}
+				s.chargeDepth()
 				if rep := eopts.Progress; rep != nil {
 					rep.ClusterDone(0)
 					s.flush()

@@ -35,6 +35,15 @@ type searcher struct {
 	ledCalls   int64
 	ledEmbs    int64
 	ledKernels setops.KernelStats
+
+	// Per-depth selectivity counters (nil unless Options.Depth is set):
+	// depthLookups/depthEmitted accumulate plainly inside the depth step;
+	// ledDepth* are the watermarks drained into the shared DepthStats
+	// atomics at work-unit boundaries.
+	depthLookups []int64
+	depthEmitted []int64
+	ledDepthL    []int64
+	ledDepthE    []int64
 }
 
 // liveFlushMask batches sink updates: counters drain every 4096
@@ -50,7 +59,7 @@ type queryShape struct {
 
 func newSearcher(m *Matcher, ctl *control) *searcher {
 	n := m.ix.Tree.NumVertices()
-	return &searcher{
+	s := &searcher{
 		m:       m,
 		ctl:     ctl,
 		tree:    queryShape{order: m.ix.Tree.Order, n: n},
@@ -59,6 +68,13 @@ func newSearcher(m *Matcher, ctl *control) *searcher {
 		used:    bitset.New(m.ix.Data.NumVertices()),
 		scratch: make([]ceci.MatchScratch, n+1),
 	}
+	if d := m.opts.Depth; d != nil && d.Depths() >= n {
+		s.depthLookups = make([]int64, n)
+		s.depthEmitted = make([]int64, n)
+		s.ledDepthL = make([]int64, n)
+		s.ledDepthE = make([]int64, n)
+	}
+	return s
 }
 
 // runUnit enumerates the embeddings of one work unit: the prefix is
@@ -119,6 +135,10 @@ func (s *searcher) search(depth int) bool {
 	} else {
 		cands = s.m.ix.CandidatesFor(u, s.emb, &s.scratch[depth])
 	}
+	if s.depthLookups != nil {
+		s.depthLookups[depth]++
+		s.depthEmitted[depth] += int64(len(cands))
+	}
 	if len(cands) == 0 {
 		return true
 	}
@@ -176,6 +196,27 @@ func (s *searcher) chargeLedger(elapsed time.Duration) {
 	s.ledCalls = s.recursiveCalls
 	s.ledEmbs = s.embeddings
 	s.ledKernels = kern
+}
+
+// chargeDepth drains per-depth lookup/output deltas since the previous
+// charge into the shared DepthStats atomics — the same unit-boundary
+// watermark discipline as chargeLedger, so the depth step itself stays
+// atomic-free and allocation-free.
+func (s *searcher) chargeDepth() {
+	d := s.m.opts.Depth
+	if d == nil || s.depthLookups == nil {
+		return
+	}
+	for i := range s.depthLookups {
+		dl := s.depthLookups[i] - s.ledDepthL[i]
+		de := s.depthEmitted[i] - s.ledDepthE[i]
+		if dl == 0 && de == 0 {
+			continue
+		}
+		d.add(i, dl, de)
+		s.ledDepthL[i] = s.depthLookups[i]
+		s.ledDepthE[i] = s.depthEmitted[i]
+	}
 }
 
 // flush pushes counter deltas since the last flush to the Stats counters

@@ -5,12 +5,16 @@
 // Every matching order produced here is tree-consistent: a vertex never
 // precedes its query-tree parent, which is the invariant the CECI index
 // and enumerator rely on.
+//
+// All order construction is deterministic: heuristic ties break to the
+// smallest vertex ID (see buildOrder), so the same (data, query, options)
+// triple yields the same order on every platform — a property the
+// cost-based planner (internal/plan) relies on for stable estimates.
 package order
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"ceci/internal/graph"
 )
@@ -34,6 +38,12 @@ const (
 	// the placed prefix.
 	EdgeRanked
 )
+
+// Heuristics lists every static matching-order heuristic in the fixed
+// sequence the cost-based planner evaluates (and tie-breaks) them in.
+func Heuristics() []Heuristic {
+	return []Heuristic{BFSOrder, LeastFrequent, PathRanked, EdgeRanked}
+}
 
 func (h Heuristic) String() string {
 	switch h {
@@ -236,12 +246,42 @@ func (t *QueryTree) buildBFSTree() {
 }
 
 // buildOrder produces a tree-consistent matching order under the chosen
-// heuristic. BFS order falls out of a plain queue; the others greedily
-// select among "available" vertices (tree parent already placed).
+// heuristic and fills Order/Pos.
 func (t *QueryTree) buildOrder(h Heuristic) error {
+	ord, err := t.orderFor(h)
+	if err != nil {
+		return err
+	}
+	t.Order = ord
+	t.Pos = make([]int, len(ord))
+	for i, u := range ord {
+		t.Pos[u] = i
+	}
+	return nil
+}
+
+// DeriveOrder returns the tree-consistent matching order heuristic h
+// would produce over t's BFS tree without modifying t. The cost-based
+// planner uses it to enumerate every heuristic's candidate order from
+// one preprocessing pass (the BFS tree and candidate counts depend only
+// on the root, not on the heuristic).
+func (t *QueryTree) DeriveOrder(h Heuristic) ([]graph.VertexID, error) {
+	return t.orderFor(h)
+}
+
+// orderFor computes a matching order under h. BFS order falls out of a
+// plain queue; the others greedily select among "available" vertices
+// (tree parent already placed).
+//
+// Tie-breaking is explicitly deterministic: at every selection step the
+// strictly smallest score wins, and equal scores break to the smallest
+// vertex ID. No fallback to BFS child order remains — two vertices with
+// identical heuristic scores are ordered the same way on every platform,
+// which keeps planner cost estimates (and the BENCH counter baselines)
+// stable across machines.
+func (t *QueryTree) orderFor(h Heuristic) ([]graph.VertexID, error) {
 	n := t.NumVertices()
-	t.Order = make([]graph.VertexID, 0, n)
-	t.Pos = make([]int, n)
+	ord := make([]graph.VertexID, 0, n)
 
 	if h == BFSOrder {
 		// Stable BFS: children in ascending ID order (Neighbors is sorted).
@@ -249,14 +289,13 @@ func (t *QueryTree) buildOrder(h Heuristic) error {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			t.Pos[u] = len(t.Order)
-			t.Order = append(t.Order, u)
+			ord = append(ord, u)
 			queue = append(queue, t.Children[u]...)
 		}
-		if len(t.Order) != n {
-			return errors.New("order: BFS did not reach all query vertices")
+		if len(ord) != n {
+			return nil, errors.New("order: BFS did not reach all query vertices")
 		}
-		return nil
+		return ord, nil
 	}
 
 	placed := make([]bool, n)
@@ -288,27 +327,74 @@ func (t *QueryTree) buildOrder(h Heuristic) error {
 		}
 	}
 	for len(available) > 0 {
-		// Pick the best-scoring available vertex (ties to smaller ID).
-		sort.Slice(available, func(i, j int) bool {
-			si, sj := score(available[i]), score(available[j])
-			if si != sj {
-				return si < sj
+		// Explicit min-selection: smallest score, ties to smallest ID.
+		bi := 0
+		bs := score(available[0])
+		for i := 1; i < len(available); i++ {
+			s := score(available[i])
+			if s < bs || (s == bs && available[i] < available[bi]) {
+				bi, bs = i, s
 			}
-			return available[i] < available[j]
-		})
-		u := available[0]
-		available = available[1:]
+		}
+		u := available[bi]
+		available = append(available[:bi], available[bi+1:]...)
 		placed[u] = true
-		t.Pos[u] = len(t.Order)
-		t.Order = append(t.Order, u)
-		for _, c := range t.Children[u] {
-			available = append(available, c)
+		ord = append(ord, u)
+		available = append(available, t.Children[u]...)
+	}
+	if len(ord) != n {
+		return nil, errors.New("order: heuristic order did not place all vertices")
+	}
+	return ord, nil
+}
+
+// Reorder returns a copy of t whose matching order is ord, sharing the
+// immutable BFS-tree structure (Parent, Children, Depth, CandCount) and
+// reclassifying non-tree edges against the new order. ord must be a
+// tree-consistent permutation of t's vertices starting at t.Root; the
+// planner uses Reorder to install its chosen order without re-running
+// candidate counting.
+func (t *QueryTree) Reorder(ord []graph.VertexID) (*QueryTree, error) {
+	n := t.NumVertices()
+	if len(ord) != n {
+		return nil, fmt.Errorf("order: reorder got %d vertices, query has %d", len(ord), n)
+	}
+	seen := make([]bool, n)
+	for i, u := range ord {
+		if int(u) >= n {
+			return nil, fmt.Errorf("order: reorder vertex u%d out of range", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("order: reorder repeats vertex u%d", u)
+		}
+		seen[u] = true
+		if i == 0 {
+			if u != t.Root {
+				return nil, fmt.Errorf("order: reorder must start at root u%d, got u%d", t.Root, u)
+			}
+			continue
+		}
+		if p := t.Parent[u]; p == NoParent || !seen[p] {
+			return nil, fmt.Errorf("order: reorder visits u%d before its tree parent", u)
 		}
 	}
-	if len(t.Order) != n {
-		return errors.New("order: heuristic order did not place all vertices")
+	nt := &QueryTree{
+		Query:       t.Query,
+		Root:        t.Root,
+		Order:       append([]graph.VertexID(nil), ord...),
+		Pos:         make([]int, n),
+		Parent:      t.Parent,
+		Children:    t.Children,
+		Depth:       t.Depth,
+		NTEParents:  make([][]graph.VertexID, n),
+		NTEChildren: make([][]graph.VertexID, n),
+		CandCount:   t.CandCount,
 	}
-	return nil
+	for i, u := range nt.Order {
+		nt.Pos[u] = i
+	}
+	nt.classifyNonTreeEdges()
+	return nt, nil
 }
 
 // classifyNonTreeEdges assigns each non-tree edge a direction: the

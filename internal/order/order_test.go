@@ -178,6 +178,167 @@ func TestHeuristicStrings(t *testing.T) {
 	}
 }
 
+// tieFixture builds a hub-and-leaves pair where two query leaves have
+// identical candidate counts (a genuine heuristic tie) and one is
+// strictly rarer: data is one label-0 hub adjacent to five label-1
+// leaves and one label-2 leaf; the query is a label-0 hub with leaves
+// u1 (label 1), u2 (label 1), u3 (label 2).
+func tieFixture() (data, query *graph.Graph) {
+	db := graph.NewBuilder(7)
+	db.SetLabel(0, 0)
+	for v := 1; v <= 5; v++ {
+		db.SetLabel(graph.VertexID(v), 1)
+		db.AddEdge(0, graph.VertexID(v))
+	}
+	db.SetLabel(6, 2)
+	db.AddEdge(0, 6)
+
+	qb := graph.NewBuilder(4)
+	qb.SetLabel(0, 0)
+	qb.SetLabel(1, 1)
+	qb.SetLabel(2, 1)
+	qb.SetLabel(3, 2)
+	qb.AddEdge(0, 1)
+	qb.AddEdge(0, 2)
+	qb.AddEdge(0, 3)
+	return db.MustBuild(), qb.MustBuild()
+}
+
+// TestTieBreakingDeterministic pins the documented tie rule: smallest
+// score first, equal scores break to the smallest vertex ID. u1 and u2
+// tie exactly (both label 1, five candidates each), so every heuristic
+// must emit u1 before u2; the selective u3 leads under the
+// selectivity-driven heuristics and trails in plain BFS child order.
+func TestTieBreakingDeterministic(t *testing.T) {
+	data, query := tieFixture()
+	cases := []struct {
+		h    order.Heuristic
+		want []graph.VertexID
+	}{
+		{order.BFSOrder, []graph.VertexID{0, 1, 2, 3}},
+		{order.LeastFrequent, []graph.VertexID{0, 3, 1, 2}},
+		{order.PathRanked, []graph.VertexID{0, 3, 1, 2}},
+		{order.EdgeRanked, []graph.VertexID{0, 3, 1, 2}},
+	}
+	for _, tc := range cases {
+		tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: 0, Heuristic: tc.h})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.h, err)
+		}
+		for i, u := range tc.want {
+			if tree.Order[i] != u {
+				t.Fatalf("%v: order = %v, want %v", tc.h, tree.Order, tc.want)
+			}
+		}
+	}
+}
+
+// TestAllTiedFallsToVertexID: when every available vertex scores
+// identically, the order must be ascending vertex ID — not an artifact
+// of queue or sort internals.
+func TestAllTiedFallsToVertexID(t *testing.T) {
+	db := graph.NewBuilder(5)
+	for v := 1; v <= 4; v++ {
+		db.AddEdge(0, graph.VertexID(v))
+	}
+	data := db.MustBuild()
+	qb := graph.NewBuilder(4)
+	qb.AddEdge(0, 1)
+	qb.AddEdge(0, 2)
+	qb.AddEdge(0, 3)
+	query := qb.MustBuild()
+	for _, h := range order.Heuristics() {
+		tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: 0, Heuristic: h})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		for i, u := range tree.Order {
+			if int(u) != i {
+				t.Fatalf("%v: tied order = %v, want ascending IDs", h, tree.Order)
+			}
+		}
+	}
+}
+
+// TestDeriveOrderMatchesPreprocess: DeriveOrder over one tree must
+// reproduce exactly the order Preprocess builds under the same
+// heuristic — the property the planner's shared-tree evaluation needs.
+func TestDeriveOrderMatchesPreprocess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		data := randomGraph(rng, 18, 40, 3)
+		query, err := gen.DFSQuery(data, 3+rng.Intn(4), rng)
+		if err != nil {
+			continue
+		}
+		base, err := order.Preprocess(data, query, order.Options{ForcedRoot: -1, Heuristic: order.BFSOrder})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, h := range order.Heuristics() {
+			want, err := order.Preprocess(data, query, order.Options{ForcedRoot: int(base.Root), Heuristic: h})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, h, err)
+			}
+			got, err := base.DeriveOrder(h)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, h, err)
+			}
+			for i := range got {
+				if got[i] != want.Order[i] {
+					t.Fatalf("trial %d %v: DeriveOrder %v != Preprocess %v", trial, h, got, want.Order)
+				}
+			}
+		}
+	}
+}
+
+func TestReorder(t *testing.T) {
+	data, query := gen.Fig1Data(), gen.Fig1Query()
+	tree, err := order.Preprocess(data, query, order.Options{ForcedRoot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := tree.DeriveOrder(order.LeastFrequent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tree.Reorder(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Root != tree.Root || rt.NTECount() != tree.NTECount() {
+		t.Fatalf("reorder changed root or NTE count: %v vs %v", rt, tree)
+	}
+	for i, u := range rt.Order {
+		if rt.Pos[u] != i {
+			t.Fatal("reorder: Pos not inverse of Order")
+		}
+	}
+	for u := range rt.NTEParents {
+		for _, p := range rt.NTEParents[u] {
+			if rt.Pos[p] >= rt.Pos[u] {
+				t.Fatalf("reorder: NTE parent u%d not before u%d", p, u)
+			}
+		}
+	}
+
+	// Invalid orders must be rejected, not silently accepted.
+	bad := append([]graph.VertexID(nil), tree.Order...)
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0] // wrong root + parent violation
+	if _, err := tree.Reorder(bad); err == nil {
+		t.Fatal("reorder accepted an order not starting at the root")
+	}
+	dup := append([]graph.VertexID(nil), tree.Order...)
+	dup[len(dup)-1] = dup[1]
+	if _, err := tree.Reorder(dup); err == nil {
+		t.Fatal("reorder accepted a repeated vertex")
+	}
+	if _, err := tree.Reorder(tree.Order[:2]); err == nil {
+		t.Fatal("reorder accepted a short order")
+	}
+}
+
 func randomGraph(rng *rand.Rand, n, m, labels int) *graph.Graph {
 	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"ceci/internal/gen"
+	"ceci/internal/plan"
+	"ceci/internal/verify"
+)
+
+// TestPlannerDifferential: the adaptive planner must never change the
+// answer — for a sweep of seeded pairs, a planner engine and a static
+// (default-order) engine report identical counts.
+func TestPlannerDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 13, 42} {
+		data, query := gen.RandomPair(seed)
+		static := New(data, Options{Workers: 2})
+		planned := New(data, Options{Workers: 2, Planner: true})
+
+		req := Request{Query: query, CountOnly: true}
+		rs, err := static.Query(context.Background(), req)
+		if err != nil {
+			t.Fatalf("seed %d static: %v", seed, err)
+		}
+		rp, err := planned.Query(context.Background(), req)
+		if err != nil {
+			t.Fatalf("seed %d planner: %v", seed, err)
+		}
+		if rs.Count != rp.Count {
+			t.Fatalf("seed %d: planner count %d != static %d", seed, rp.Count, rs.Count)
+		}
+		if planned.planned.Load() != 1 {
+			t.Fatalf("seed %d: planned gauge = %d, want 1", seed, planned.planned.Load())
+		}
+	}
+}
+
+// TestPlannerDriftReplans: injected drift on a cached plan must
+// deterministically trigger a re-plan on the next cache-hit query —
+// the estimate is tampered down so the observed (calibrated) cost of
+// the running order reads as a PlannerDrift× overshoot.
+func TestPlannerDriftReplans(t *testing.T) {
+	data, query := gen.RandomPair(42)
+	e := New(data, Options{Workers: 1, Planner: true, PlannerMinQueries: 1, PlannerDrift: 2})
+	ctx := context.Background()
+
+	r1, err := e.Query(ctx, Request{Query: query, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count == 0 {
+		t.Fatal("fixture has no embeddings; drift needs observed lookups")
+	}
+	if got := e.driftChecks.Load(); got != 1 {
+		t.Fatalf("drift checks after first query = %d, want 1 (min-queries met)", got)
+	}
+	if got := e.recosts.Load() + e.replans.Load(); got != 0 {
+		t.Fatalf("re-planned without drift: recosts+replans = %d", got)
+	}
+
+	key, _ := verify.CanonicalGraph(query)
+	ent, ok := e.cache.get(key)
+	if !ok {
+		t.Fatal("entry not cached")
+	}
+	// Inject drift: shrink the cached estimate so the next observation
+	// reads the (unchanged) true cost as a huge overshoot.
+	ent.mu.Lock()
+	tampered := *ent.decision
+	tampered.Estimate = 1e-9
+	ent.decision = &tampered
+	ent.mu.Unlock()
+
+	r2, err := e.Query(ctx, Request{Query: query, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second query missed the cache")
+	}
+	if got := e.driftChecks.Load(); got != 2 {
+		t.Fatalf("drift checks = %d, want 2", got)
+	}
+	if got := e.recosts.Load() + e.replans.Load(); got != 1 {
+		t.Fatalf("recosts+replans = %d, want exactly 1", got)
+	}
+	ent.mu.Lock()
+	dec := ent.decision
+	obsQ := ent.obsQueries
+	ent.mu.Unlock()
+	if !dec.Calibrated {
+		t.Fatal("post-drift decision not calibrated")
+	}
+	if dec.Estimate == tampered.Estimate {
+		t.Fatal("re-plan did not refresh the estimate")
+	}
+	if obsQ != 0 {
+		t.Fatalf("accumulators not reset after re-plan: obsQueries = %d", obsQ)
+	}
+
+	r3, err := e.Query(ctx, Request{Query: query, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Count != r1.Count {
+		t.Fatalf("count changed across re-plan: %d vs %d", r3.Count, r1.Count)
+	}
+}
+
+// TestPlannerDriftRebuild: when the tampered running order is NOT the
+// calibrated winner, drift must rebuild the index under the winning
+// order and swap it into the cache — the full adaptive path.
+func TestPlannerDriftRebuild(t *testing.T) {
+	data, query := gen.RandomPair(42)
+	e := New(data, Options{Workers: 1, Planner: true, PlannerMinQueries: 1, PlannerDrift: 2})
+	ctx := context.Background()
+
+	r1, err := e.Query(ctx, Request{Query: query, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := verify.CanonicalGraph(query)
+	ent, _ := e.cache.get(key)
+
+	// Pretend a worse candidate order is the one running: point the
+	// cached decision at a non-chosen candidate with a tiny estimate.
+	// The calibrated winner differs, so drift must take the rebuild
+	// path, not the recost shortcut.
+	ent.mu.Lock()
+	var alt *plan.Candidate
+	for i := range ent.decision.Candidates {
+		c := &ent.decision.Candidates[i]
+		if !sameOrder(c.Order, ent.decision.Order) {
+			alt = c
+			break
+		}
+	}
+	if alt == nil {
+		ent.mu.Unlock()
+		t.Skip("fixture has only one distinct candidate order")
+	}
+	// Keep the original PerDepth so the calibration ratios stay close to
+	// 1 and the calibrated winner remains the true cheapest order.
+	tampered := *ent.decision
+	tampered.Chosen = alt.Name
+	tampered.Order = alt.Order
+	tampered.Estimate = 1e-9
+	ent.decision = &tampered
+	ent.mu.Unlock()
+	buildsBefore := e.Builds()
+
+	if _, err := e.Query(ctx, Request{Query: query, CountOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.replans.Load(); got != 1 {
+		t.Fatalf("replans = %d, want 1 (recosts = %d)", got, e.recosts.Load())
+	}
+	if got := e.Builds(); got != buildsBefore+1 {
+		t.Fatalf("builds = %d, want %d (rebuild under the new order)", got, buildsBefore+1)
+	}
+	ent.mu.Lock()
+	installed := ent.decision.Order
+	ent.mu.Unlock()
+	if sameOrder(installed, alt.Order) {
+		t.Fatal("re-plan kept the tampered order")
+	}
+	if got := ent.ix.Load().Tree; !sameOrder(got.Order, installed) {
+		t.Fatalf("swapped index order %v != decision order %v", got.Order, installed)
+	}
+
+	r2, err := e.Query(ctx, Request{Query: query, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Count != r1.Count {
+		t.Fatalf("count changed across rebuild: %d vs %d", r2.Count, r1.Count)
+	}
+	// Byte accounting followed the swap.
+	if s := e.CacheStats(); s.UsedBytes != ent.bytes {
+		t.Fatalf("cache used %d != entry bytes %d", s.UsedBytes, ent.bytes)
+	}
+}

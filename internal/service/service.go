@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"ceci/internal/graph"
 	"ceci/internal/obs"
 	"ceci/internal/order"
+	"ceci/internal/plan"
 	"ceci/internal/stats"
 	"ceci/internal/telemetry"
 	"ceci/internal/verify"
@@ -57,7 +59,25 @@ type Options struct {
 	// setups).
 	Workers int
 	// Order selects the matching-order heuristic for built indexes.
+	// Ignored when Planner is set.
 	Order order.Heuristic
+	// Planner enables cost-based adaptive planning per query class: on
+	// build, every heuristic's order plus a greedy min-cost order are
+	// scored by internal/plan's cardinality model and the cheapest wins;
+	// the winning plan is cached with the index, each query folds its
+	// observed per-depth selectivities into the entry, and the engine
+	// re-plans — rebuilding the index under a new order if one is now
+	// cheaper — when observed cost drifts PlannerDrift× past the
+	// estimate.
+	Planner bool
+	// PlannerDrift is the re-plan trigger factor: re-plan when the
+	// running order's cost, recosted under observed selectivities, is at
+	// least this many times its original estimate (default 4).
+	PlannerDrift float64
+	// PlannerMinQueries is how many completed queries a cache entry must
+	// observe before drift checks begin (default 3) — one noisy or
+	// partial query should not trigger a rebuild.
+	PlannerMinQueries int64
 	// Registry, when non-nil, receives cache/admission gauges and
 	// latency histograms (served at /metrics under the HTTP handler).
 	Registry *obs.Registry
@@ -117,6 +137,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TraceSample == 0 {
 		o.TraceSample = 1
+	}
+	if o.PlannerDrift <= 0 {
+		o.PlannerDrift = 4
+	}
+	if o.PlannerMinQueries <= 0 {
+		o.PlannerMinQueries = 3
 	}
 	return o
 }
@@ -198,6 +224,12 @@ type Engine struct {
 	inflight  atomic.Int64
 	waiting   atomic.Int64
 
+	// Adaptive-planner counters, exposed as ceci_planner_* gauges.
+	planned     atomic.Int64 // entries built with a planner-chosen order
+	driftChecks atomic.Int64 // calibrated recosts of a running order
+	recosts     atomic.Int64 // drift re-plans that kept the order (estimate updated)
+	replans     atomic.Int64 // drift re-plans that installed a new order (index rebuilt)
+
 	latency   *obs.Histogram // end-to-end request seconds
 	queueWait *obs.Histogram // admission wait seconds
 }
@@ -246,6 +278,16 @@ func New(data *graph.Graph, opts Options) *Engine {
 				"rejected":     s.Rejected,
 			}
 		})
+		if o.Planner {
+			reg.SetSource("planner", func() map[string]int64 {
+				return map[string]int64{
+					"planned":      e.planned.Load(),
+					"drift_checks": e.driftChecks.Load(),
+					"recosts":      e.recosts.Load(),
+					"replans":      e.replans.Load(),
+				}
+			})
+		}
 		if o.Stats != nil {
 			reg.SetCounters(o.Stats)
 		}
@@ -512,11 +554,21 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span, led *tele
 		stopAfter = req.Offset + limit
 	}
 
-	m := enum.NewMatcher(ent.ix, enum.Options{
+	// Per-query depth stats feed the adaptive planner's drift detector;
+	// selectivity ratios are scale-free (output per lookup), so partial
+	// and limited enumerations contribute without biasing the signal.
+	var ds *enum.DepthStats
+	if e.opts.Planner && ent.decision != nil {
+		ds = enum.NewDepthStats(len(ent.decision.Order))
+		defer e.observePlan(ent, ds)
+	}
+
+	m := enum.NewMatcher(ent.ix.Load(), enum.Options{
 		Workers: e.opts.Workers,
 		Limit:   stopAfter,
 		Stats:   e.opts.Stats,
 		Ledger:  led,
+		Depth:   ds,
 	})
 
 	enumStart := time.Now()
@@ -549,6 +601,101 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span, led *tele
 		return resp, enumErr
 	}
 	return resp, nil
+}
+
+// observePlan folds one query's per-depth lookup/output counts into the
+// entry's accumulators and, once PlannerMinQueries queries have been
+// seen, recosts the running order under the observed selectivities. A
+// drift of PlannerDrift× past the original estimate triggers a re-plan.
+func (e *Engine) observePlan(ent *entry, ds *enum.DepthStats) {
+	lookups, emitted := ds.Snapshot()
+	ent.mu.Lock()
+	for i := range lookups {
+		ent.obsLookups[i] += lookups[i]
+		ent.obsEmitted[i] += emitted[i]
+	}
+	ent.obsQueries++
+	dec := ent.decision
+	var calib []float64
+	if ent.obsQueries >= e.opts.PlannerMinQueries && !ent.replanning {
+		calib = dec.Calibration(ent.obsLookups, ent.obsEmitted)
+	}
+	ent.mu.Unlock()
+	if calib == nil {
+		return
+	}
+	e.driftChecks.Add(1)
+	observed := ent.planner.EstimateOrder(dec.Chosen, dec.Order, calib).Cost
+	if observed < e.opts.PlannerDrift*math.Max(dec.Estimate, 1) {
+		return
+	}
+	e.replan(ent, calib)
+}
+
+// replan re-runs the cost model with the entry's observed selectivities
+// folded in. If the calibrated winner is the order already running, the
+// entry just adopts the calibrated estimate (so drift does not
+// re-trigger every query); otherwise the index is rebuilt under the new
+// order and swapped into the cache. Queries already enumerating the old
+// index finish on it — the swap only redirects future lookups.
+func (e *Engine) replan(ent *entry, calib []float64) {
+	ent.mu.Lock()
+	if ent.replanning {
+		ent.mu.Unlock()
+		return
+	}
+	ent.replanning = true
+	ent.mu.Unlock()
+	done := func() {
+		ent.mu.Lock()
+		ent.replanning = false
+		ent.mu.Unlock()
+	}
+
+	dec, err := ent.planner.Decide(calib)
+	if err != nil {
+		done()
+		return
+	}
+	if sameOrder(dec.Order, ent.decision.Order) {
+		e.recosts.Add(1)
+		ent.mu.Lock()
+		ent.decision = dec
+		ent.resetObsLocked()
+		ent.mu.Unlock()
+		done()
+		return
+	}
+	// New order: rebuild off the request path's deadline — the rebuild
+	// benefits future queries of this class, not the one that noticed.
+	ix, err := icec.BuildCtx(context.Background(), e.data, dec.Tree, icec.Options{
+		Workers: e.opts.Workers,
+		Stats:   e.opts.Stats,
+	})
+	if err != nil {
+		done()
+		return
+	}
+	e.builds.Add(1)
+	e.replans.Add(1)
+	ent.mu.Lock()
+	ent.decision = dec
+	ent.resetObsLocked()
+	ent.mu.Unlock()
+	e.cache.replace(ent, ix, ix.PhysicalBytes())
+	done()
+}
+
+func sameOrder(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // getIndex returns the cache entry for the query's isomorphism class,
@@ -614,12 +761,28 @@ func queryHash(key string) string {
 }
 
 // buildEntry preprocesses and builds one frozen index, inserting it into
-// the cache on success.
+// the cache on success. With Options.Planner the matching order comes
+// from the cost-based planner and the winning plan is cached alongside
+// the index for later drift checks.
 func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, perm []int) (*entry, error) {
-	tree, err := order.Preprocess(e.data, q, order.Options{
-		ForcedRoot: -1,
-		Heuristic:  e.opts.Order,
-	})
+	var tree *order.QueryTree
+	var planner *plan.Planner
+	var decision *plan.Decision
+	var err error
+	if e.opts.Planner {
+		planner, err = plan.New(e.data, q, plan.Options{ForcedRoot: -1})
+		if err == nil {
+			decision, err = planner.Decide(nil)
+		}
+		if decision != nil {
+			tree = decision.Tree
+		}
+	} else {
+		tree, err = order.Preprocess(e.data, q, order.Options{
+			ForcedRoot: -1,
+			Heuristic:  e.opts.Order,
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
@@ -632,11 +795,19 @@ func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, per
 	}
 	e.builds.Add(1)
 	ent := &entry{
-		key:     key,
-		ix:      ix,
-		query:   q,
-		invPerm: invertPerm(perm),
-		bytes:   ix.PhysicalBytes(),
+		key:      key,
+		query:    q,
+		invPerm:  invertPerm(perm),
+		bytes:    ix.PhysicalBytes(),
+		planner:  planner,
+		decision: decision,
+	}
+	ent.ix.Store(ix)
+	if decision != nil {
+		e.planned.Add(1)
+		n := len(decision.Order)
+		ent.obsLookups = make([]int64, n)
+		ent.obsEmitted = make([]int64, n)
 	}
 	e.cache.add(ent)
 	return ent, nil

@@ -1,0 +1,86 @@
+package verify_test
+
+import (
+	"sync"
+	"testing"
+
+	ceci "ceci"
+	"ceci/internal/auto"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/verify"
+)
+
+// TestDifferentialPlannerOrders is the planner's answer-preservation
+// sweep: the cost-based planner may pick any tree-consistent matching
+// order, but the embedding *set* must be bit-identical to the default
+// static order on every pair. 2000 seeded pairs (reduced under -short),
+// planner-on vs planner-off, canonicalized exactly like the engine
+// differential so symmetry-breaking representatives don't alias as
+// diffs. A failing seed replays with:
+//
+//	go run ./cmd/cecirun -verify -seed <seed>
+func TestDifferentialPlannerOrders(t *testing.T) {
+	seeds := int64(2000)
+	if testing.Short() {
+		seeds = 250
+	}
+	const maxEmbeddings = 200000
+	checked, skipped := 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		data, query := gen.RandomPair(seed)
+		cons := auto.Compute(query)
+
+		base, err := ceciEmbeddings(data, query, &ceci.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("seed %d: planner-off match: %v", seed, err)
+		}
+		if len(base) > maxEmbeddings {
+			skipped++
+			continue
+		}
+		onOpts := &ceci.Options{Workers: 2, Planner: true}
+		got, err := ceciEmbeddings(data, query, onOpts)
+		if err != nil {
+			t.Fatalf("seed %d: planner-on match: %v", seed, err)
+		}
+		checked++
+
+		want := verify.CanonicalSet(base, cons)
+		have := verify.CanonicalSet(got, cons)
+		if len(want) != len(have) {
+			t.Fatalf("seed %d: planner-on found %d canonical embeddings, planner-off %d\nreproduce: go run ./cmd/cecirun -verify -seed %d",
+				seed, len(have), len(want), seed)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("seed %d: embedding sets diverge at %d: planner-off %q vs planner-on %q\nreproduce: go run ./cmd/cecirun -verify -seed %d",
+					seed, i, want[i], have[i], seed)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pairs checked; generator envelope too explosive")
+	}
+	t.Logf("%d pairs checked planner-on vs planner-off (%d skipped as too large)", checked, skipped)
+}
+
+// ceciEmbeddings collects CECI's embeddings under opts; safe under
+// concurrent callbacks.
+func ceciEmbeddings(data, query *graph.Graph, opts *ceci.Options) ([][]graph.VertexID, error) {
+	m, err := ceci.Match(data, query, opts)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var out [][]graph.VertexID
+	m.ForEach(func(emb []graph.VertexID) bool {
+		cp := make([]graph.VertexID, len(emb))
+		copy(cp, emb)
+		mu.Lock()
+		out = append(out, cp)
+		mu.Unlock()
+		return true
+	})
+	return out, nil
+}
