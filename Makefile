@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare bench-allocs bench-kernels vet fmt ci verify fuzz serve-smoke trace-smoke plan-smoke experiments experiments-quick examples clean
+.PHONY: build test race bench bench-json bench-compare bench-allocs bench-kernels vet fmt ci verify fuzz serve-smoke trace-smoke plan-smoke shard-smoke experiments experiments-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -79,7 +79,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/plan ./internal/setops ./internal/bitset ./internal/verify ./internal/service ./cmd/ceciserve
+	$(GO) test -race ./internal/enum ./internal/ceci ./internal/cluster ./internal/obs ./internal/stats ./internal/prof ./internal/plan ./internal/setops ./internal/bitset ./internal/verify ./internal/service ./internal/shard ./cmd/ceciserve ./cmd/ceciroute
 
 # Boot the query service on the Figure 1 fixture and exercise the HTTP
 # API end to end (also run raced by CI's service-smoke job).
@@ -103,6 +103,17 @@ plan-smoke:
 	$(GO) test -race -run 'TestPlanner|TestExplainAnalyzePlanner' . ./internal/service
 	$(GO) test -run TestDifferentialPlannerOrders -short ./internal/verify
 	$(GO) run ./cmd/cecibench -exp orders -quick
+
+# Sharded-serving smoke: the partition/router/fault-injection suites
+# raced (differential oracle vs single-node, explicit-partial fault
+# semantics, trace stitching), then the out-of-process pass — partition
+# the Figure 1 fixture into 3 shards, boot the fleet plus the router,
+# curl a traced query, validate the merged count and the stitched
+# trace, SIGTERM everything (also run by CI's shard-smoke job).
+shard-smoke:
+	$(GO) test -race ./internal/shard
+	$(GO) test -race -run 'TestServeShard|TestReadinessGate|TestRouteMode|TestPartitionMode|TestShardMode|TestClientRetr|TestClientBackoff' -v ./cmd/ceciserve ./cmd/ceciroute ./internal/service
+	bash scripts/shard_smoke.sh
 
 # Telemetry smoke: the hub's deterministic unit tests raced, then the
 # /statz + /dashz + Server-Timing surfaces through the in-process server

@@ -22,6 +22,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,6 +42,7 @@ import (
 	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/service"
+	"ceci/internal/shard"
 	"ceci/internal/stats"
 	"ceci/internal/telemetry"
 )
@@ -47,6 +50,8 @@ import (
 type serveConfig struct {
 	dataPath    string
 	dataset     string
+	shardDir    string // -shard-manifest: partition directory (shard mode)
+	shardID     int    // -shard-id: which partition to serve (-1 = single-node)
 	listen      string
 	concurrency int
 	queueDepth  int
@@ -80,8 +85,13 @@ type serveConfig struct {
 	errw io.Writer // defaults to os.Stderr; tests capture it
 	outw io.Writer // defaults to os.Stdout; tests capture it
 
-	// ready, when non-nil, receives the bound address once the server
-	// accepts connections (tests use it to find the ephemeral port).
+	// listening, when non-nil, receives the bound address as soon as the
+	// socket accepts connections — before the data graph loads, while the
+	// readiness gate still answers 503 (tests of the gate use it).
+	listening func(addr string)
+
+	// ready, when non-nil, receives the bound address once the engine is
+	// serving queries (tests use it to find the ephemeral port).
 	ready func(addr string)
 }
 
@@ -89,6 +99,8 @@ func main() {
 	cfg := serveConfig{}
 	flag.StringVar(&cfg.dataPath, "data", "", "data graph file (.lg labeled, else edge list)")
 	flag.StringVar(&cfg.dataset, "dataset", "", "built-in dataset substitute (alternative to -data)")
+	flag.StringVar(&cfg.shardDir, "shard-manifest", "", "shard mode: partition directory written by ceciroute -partition (use with -shard-id)")
+	flag.IntVar(&cfg.shardID, "shard-id", -1, "shard mode: which partition of -shard-manifest to serve")
 	flag.StringVar(&cfg.listen, "listen", ":8080", "address to serve the query API on")
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "max queries executing at once (0 = all cores)")
 	flag.IntVar(&cfg.queueDepth, "queue", 64, "max queries waiting for a slot before load-shedding")
@@ -112,6 +124,10 @@ func main() {
 	flag.Float64Var(&cfg.sloObjective, "slo-objective", 0.99, "latency SLO objective (fraction of queries under target)")
 	flag.Float64Var(&cfg.sloAvailability, "slo-availability", 0.999, "availability SLO objective (fraction of queries not failing)")
 	flag.Parse()
+	if cfg.shardID >= 0 && cfg.shardDir == "" {
+		fmt.Fprintln(os.Stderr, "ceciserve: -shard-id requires -shard-manifest")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -132,11 +148,44 @@ func run(ctx context.Context, cfg serveConfig) error {
 		fmt.Fprintln(cfg.outw, buildinfo.Get())
 		return nil
 	}
-	data, err := loadData(cfg.dataPath, cfg.dataset)
+	// Listen before loading the graph: the gate handler answers
+	// liveness (200) but not readiness (/healthz?ready=1 -> 503) while
+	// the data loads, so routers and smoke tests never race startup.
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
+		return fmt.Errorf("listen %s: %w", cfg.listen, err)
+	}
+	var handler atomic.Pointer[http.Handler]
+	gate := gateHandler()
+	handler.Store(&gate)
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(cfg.errw, "ceciserve: listening on http://%s/ (loading data)\n", ln.Addr())
+	if cfg.listening != nil {
+		cfg.listening(ln.Addr().String())
+	}
+
+	data, shardCfg, err := loadResident(cfg)
+	if err != nil {
+		srv.Close()
 		return err
 	}
-	fmt.Fprintf(cfg.errw, "ceciserve: data graph %v resident\n", data)
+	if shardCfg != nil {
+		fmt.Fprintf(cfg.errw, "ceciserve: shard %d/%d resident: %v (%d owned, halo radius %d)\n",
+			shardCfg.ID, shardCfg.Shards, data, len(shardCfg.OwnedLocals), shardCfg.Radius)
+	} else {
+		fmt.Fprintf(cfg.errw, "ceciserve: data graph %v resident\n", data)
+	}
 
 	// Optional durable observability sinks: the span event log and the
 	// per-query audit log are buffered files, flushed on every shutdown
@@ -147,6 +196,7 @@ func run(ctx context.Context, cfg serveConfig) error {
 	if cfg.traceJSONL != "" {
 		traceFile, err = os.Create(cfg.traceJSONL)
 		if err != nil {
+			srv.Close()
 			return fmt.Errorf("-trace-jsonl: %w", err)
 		}
 		traceBuf = bufio.NewWriter(traceFile)
@@ -156,6 +206,7 @@ func run(ctx context.Context, cfg serveConfig) error {
 	if cfg.auditPath != "" {
 		auditFile, err = os.OpenFile(cfg.auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
+			srv.Close()
 			return fmt.Errorf("-audit: %w", err)
 		}
 		auditBuf = bufio.NewWriter(auditFile)
@@ -213,19 +264,13 @@ func run(ctx context.Context, cfg serveConfig) error {
 		Audit:             audit,
 		Stats:             &stats.Counters{},
 		Telemetry:         hub,
+		Shard:             shardCfg,
 	})
 
-	ln, err := net.Listen("tcp", cfg.listen)
-	if err != nil {
-		return fmt.Errorf("listen %s: %w", cfg.listen, err)
-	}
-	srv := &http.Server{Handler: eng.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	errc := make(chan error, 1)
-	go func() {
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			errc <- err
-		}
-	}()
+	// Swap the gate out: from here /healthz?ready=1 answers 200 and
+	// queries are served.
+	engh := http.Handler(eng.Handler())
+	handler.Store(&engh)
 	fmt.Fprintf(cfg.errw, "ceciserve: serving on http://%s/\n", ln.Addr())
 	if cfg.ready != nil {
 		cfg.ready(ln.Addr().String())
@@ -248,6 +293,56 @@ func run(ctx context.Context, cfg serveConfig) error {
 	}
 	fmt.Fprintf(cfg.errw, "ceciserve: clean shutdown\n")
 	return nil
+}
+
+// gateHandler serves the pre-ready phase: the process is live (plain
+// /healthz answers 200 "starting") but not ready (?ready=1 answers 503,
+// as does every other route) until the resident graph is loaded and the
+// engine handler is swapped in.
+func gateHandler() http.Handler {
+	starting := service.HealthResponse{Status: "starting", Build: buildinfo.Get()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		if r.URL.Query().Get("ready") == "1" {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(starting)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "starting: data graph loading", http.StatusServiceUnavailable)
+	})
+	return mux
+}
+
+// loadResident resolves what this process serves: a whole data graph
+// (single-node, shardDir empty) or one partition of a shard manifest
+// (shard mode). The -shard-id/-shard-manifest pairing is validated at
+// flag-parse time in main.
+func loadResident(cfg serveConfig) (*graph.Graph, *service.ShardConfig, error) {
+	if cfg.shardDir == "" {
+		data, err := loadData(cfg.dataPath, cfg.dataset)
+		return data, nil, err
+	}
+	if cfg.dataPath != "" || cfg.dataset != "" {
+		return nil, nil, fmt.Errorf("-shard-manifest is mutually exclusive with -data/-dataset")
+	}
+	if cfg.shardID < 0 {
+		return nil, nil, fmt.Errorf("-shard-manifest requires -shard-id")
+	}
+	part, err := shard.LoadPart(cfg.shardDir, cfg.shardID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return part.Graph, &service.ShardConfig{
+		ID:          part.ID,
+		Shards:      part.Shards,
+		Radius:      part.Radius,
+		Globals:     part.Globals,
+		OwnedLocals: part.OwnedLocals,
+	}, nil
 }
 
 func loadData(path, dataset string) (*graph.Graph, error) {

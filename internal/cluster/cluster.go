@@ -33,7 +33,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +44,6 @@ import (
 	"ceci/internal/obs"
 	"ceci/internal/order"
 	"ceci/internal/prof"
-	"ceci/internal/setops"
 	"ceci/internal/stats"
 	"ceci/internal/workload"
 )
@@ -295,109 +293,17 @@ func RunCtx(ctx context.Context, data, query *graph.Graph, cfg Config) (*Result,
 	return res, nil
 }
 
-// distributePivots assigns pivots to machines by greedy largest-first bin
-// packing on the light-weight workload estimate, then optionally
-// co-locates Jaccard-similar clusters.
+// distributePivots assigns pivots to machines via the shared §5
+// workload-estimate partitioner (workload.DistributePivots). Neighbor
+// degrees and Jaccard co-location require the whole graph locally, so
+// both are gated on Replicated mode.
 func distributePivots(data *graph.Graph, pivots []graph.VertexID, cfg Config) [][]graph.VertexID {
-	type wp struct {
-		v graph.VertexID
-		w float64
-	}
-	n := float64(data.NumVertices())
-	weighted := make([]wp, len(pivots))
-	for i, v := range pivots {
-		w := float64(data.Degree(v))
-		if cfg.Mode == Replicated {
-			// Neighbor information is local: deg(v) + Σ deg(neighbors).
-			for _, u := range data.Neighbors(v) {
-				w += float64(data.Degree(u))
-			}
-		}
-		// Scale by vertex ID to account for the asymmetry inflicted by
-		// automorphism-breaking orders (§5).
-		w *= (n - float64(v)) / n
-		weighted[i] = wp{v, w}
-	}
-	sort.Slice(weighted, func(i, j int) bool { return weighted[i].w > weighted[j].w })
-
-	loads := make([]float64, cfg.Machines)
-	owner := make(map[graph.VertexID]int, len(pivots))
-	assign := func(v graph.VertexID, w float64, machine int) {
-		owner[v] = machine
-		loads[machine] += w
-	}
-	argminLoad := func() int {
-		best := 0
-		for i := 1; i < cfg.Machines; i++ {
-			if loads[i] < loads[best] {
-				best = i
-			}
-		}
-		return best
-	}
-
-	var maxLoad float64
-	for _, p := range weighted {
-		maxLoad += p.w
-	}
-	maxLoad = maxLoad / float64(cfg.Machines) * 1.25 // co-location capacity cap
-
-	if cfg.Jaccard && cfg.Mode == Replicated {
-		// Pass 1: largest clusters pull their similar peers along.
-		topK := cfg.JaccardTopK
-		if topK > len(weighted) {
-			topK = len(weighted)
-		}
-		for i := 0; i < topK; i++ {
-			v := weighted[i].v
-			if _, done := owner[v]; done {
-				continue
-			}
-			m := argminLoad()
-			assign(v, weighted[i].w, m)
-			for j := i + 1; j < topK; j++ {
-				u := weighted[j].v
-				if _, done := owner[u]; done {
-					continue
-				}
-				if loads[m]+weighted[j].w > maxLoad {
-					break
-				}
-				if jaccard(data, v, u) >= 0.5 {
-					assign(u, weighted[j].w, m)
-				}
-			}
-		}
-	}
-	for _, p := range weighted {
-		if _, done := owner[p.v]; !done {
-			assign(p.v, p.w, argminLoad())
-		}
-	}
-
-	parts := make([][]graph.VertexID, cfg.Machines)
-	for _, p := range weighted {
-		m := owner[p.v]
-		parts[m] = append(parts[m], p.v)
-	}
-	for _, p := range parts {
-		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
-	}
-	return parts
-}
-
-// jaccard returns |N(a) ∩ N(b)| / |N(a) ∪ N(b)|.
-func jaccard(data *graph.Graph, a, b graph.VertexID) float64 {
-	na, nb := data.Neighbors(a), data.Neighbors(b)
-	if len(na) == 0 && len(nb) == 0 {
-		return 0
-	}
-	inter := setops.IntersectionSize(na, nb)
-	union := len(na) + len(nb) - inter
-	if union == 0 {
-		return 0
-	}
-	return float64(inter) / float64(union)
+	return workload.DistributePivots(data, pivots, workload.DistributeOptions{
+		Parts:           cfg.Machines,
+		NeighborDegrees: cfg.Mode == Replicated,
+		Jaccard:         cfg.Jaccard && cfg.Mode == Replicated,
+		JaccardTopK:     cfg.JaccardTopK,
+	})
 }
 
 // pivotQueue is one machine's pending clusters, stealable by others.

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -134,4 +136,33 @@ func WriteSpanJSONL(w io.Writer, nodes []*SpanNode) error {
 		}
 	}
 	return nil
+}
+
+// ReadSpanJSONL parses a span log written by WriteSpanJSONL and
+// reassembles the tree structure via Stitch: every flat record carries
+// an explicit ParentSpanID, so spans re-nest under their parents and
+// the roots of the reconstructed forest are returned. Blank lines are
+// skipped; a malformed line aborts with its line number.
+func ReadSpanJSONL(r io.Reader) ([]*SpanNode, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var nodes []*SpanNode
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		n := &SpanNode{}
+		if err := json.Unmarshal(b, n); err != nil {
+			return nil, fmt.Errorf("span jsonl line %d: %w", line, err)
+		}
+		n.Children = nil // flat records must not smuggle in nesting
+		nodes = append(nodes, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("span jsonl: %w", err)
+	}
+	return Stitch(nodes), nil
 }

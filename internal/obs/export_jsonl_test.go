@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// jsonlFixture builds a two-root forest with nesting: the shape a
+// router gathers from itself plus one shard.
+func jsonlFixture() []*SpanNode {
+	return []*SpanNode{
+		{
+			Name: "route-query", TraceID: "0af7651916cd43dd8448eb211c80319c",
+			SpanID: "b7ad6b7169203331", StartUS: 10, DurUS: 900,
+			Attrs: map[string]string{"shards": "2"},
+			Children: []*SpanNode{
+				{Name: "scatter", TraceID: "0af7651916cd43dd8448eb211c80319c",
+					SpanID: "00f067aa0ba902b7", ParentSpanID: "b7ad6b7169203331",
+					StartUS: 20, DurUS: 700},
+			},
+		},
+		{
+			Name: "service-query", TraceID: "0af7651916cd43dd8448eb211c80319c",
+			SpanID: "1c80319c8448eb21", ParentSpanID: "00f067aa0ba902b7",
+			StartUS: 40, DurUS: 500,
+		},
+	}
+}
+
+// TestSpanJSONLRoundTrip: Write then Read must reproduce the tree —
+// and because the second root names a parent inside the first tree,
+// reading re-stitches it under the scatter span.
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanJSONL(&buf, jsonlFixture()); err != nil {
+		t.Fatal(err)
+	}
+	roots, err := ReadSpanJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots after stitch, want 1", len(roots))
+	}
+	route := roots[0]
+	if route.Name != "route-query" || route.Attrs["shards"] != "2" {
+		t.Fatalf("root = %q attrs %v", route.Name, route.Attrs)
+	}
+	if len(route.Children) != 1 || route.Children[0].Name != "scatter" {
+		t.Fatalf("route children = %+v", route.Children)
+	}
+	scatter := route.Children[0]
+	if len(scatter.Children) != 1 || scatter.Children[0].Name != "service-query" {
+		t.Fatalf("scatter should adopt service-query, got %+v", scatter.Children)
+	}
+	if got := scatter.Children[0].DurUS; got != 500 {
+		t.Errorf("stitched span DurUS = %d, want 500", got)
+	}
+}
+
+// TestReadSpanJSONLSkipsBlankAndRejectsGarbage: blank lines are
+// tolerated (trailing newline emitters), malformed JSON is a
+// line-numbered error.
+func TestReadSpanJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
+	good := `{"name":"a","start_us":1,"dur_us":2}` + "\n\n" + `{"name":"b","start_us":3,"dur_us":4}` + "\n"
+	roots, err := ReadSpanJSONL(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+
+	if _, err := ReadSpanJSONL(strings.NewReader(`{"name":"a"}` + "\n" + `not json` + "\n")); err == nil {
+		t.Fatal("malformed line should error")
+	} else if !strings.Contains(err.Error(), "2") {
+		t.Errorf("error should name line 2: %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package obs
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,7 +56,7 @@ type TracerOptions struct {
 // with Start belong to the tracer's own trace (one random 128-bit trace
 // ID minted at NewTracer), roots opened with StartRemote join the trace
 // of a propagated TraceContext, and span IDs are allocated
-// deterministically from (trace ID, sequence number).
+// deterministically from (trace ID, tracer salt, sequence number).
 type Tracer struct {
 	mu    sync.Mutex
 	opts  TracerOptions
@@ -63,15 +64,24 @@ type Tracer struct {
 	roots []*Span
 	drops int
 	seq   int64
+	salt  int64 // tracer identity mixed into span IDs (see below)
 	epoch time.Time
 }
 
 // NewTracer returns a Tracer recording from now.
+//
+// The tracer's random identity (its own trace ID) doubles as a span-ID
+// salt: span IDs derive from (trace ID, salt ^ seq), so two tracers in
+// different processes serving the SAME distributed trace — a router and
+// its shards — never mint colliding span IDs, which would corrupt
+// stitched trees.
 func NewTracer(opts TracerOptions) *Tracer {
 	if opts.MaxChildren <= 0 {
 		opts.MaxChildren = DefaultMaxChildren
 	}
-	return &Tracer{opts: opts, tc: NewTraceContext(), epoch: time.Now()}
+	t := &Tracer{opts: opts, tc: NewTraceContext(), epoch: time.Now()}
+	t.salt = int64(binary.BigEndian.Uint64(t.tc.TraceID[:8]))
+	return t
 }
 
 // TraceID returns the tracer's own trace identity — the trace that
@@ -132,7 +142,7 @@ func (t *Tracer) startRoot(tid TraceID, parent SpanID, name string, attrs []Attr
 		t.seq++
 		return &Span{
 			tracer: t, detached: true, start: time.Now(),
-			tc:       TraceContext{TraceID: tid, SpanID: deriveSpanID(tid, t.seq), Sampled: true},
+			tc:       TraceContext{TraceID: tid, SpanID: deriveSpanID(tid, t.salt^t.seq), Sampled: true},
 			parentSp: parent,
 		}
 	}
@@ -154,7 +164,7 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 		t.seq++
 		return &Span{
 			tracer: t, detached: true, start: time.Now(),
-			tc:       TraceContext{TraceID: s.tc.TraceID, SpanID: deriveSpanID(s.tc.TraceID, t.seq), Sampled: true},
+			tc:       TraceContext{TraceID: s.tc.TraceID, SpanID: deriveSpanID(s.tc.TraceID, t.salt^t.seq), Sampled: true},
 			parentSp: s.tc.SpanID,
 		}
 	}
@@ -177,7 +187,7 @@ func (t *Tracer) newSpanLocked(name string, tid TraceID, parentSp SpanID, parent
 	t.seq++
 	s := &Span{
 		tracer: t, id: t.seq, name: name, attrs: attrs, start: time.Now(),
-		tc:       TraceContext{TraceID: tid, SpanID: deriveSpanID(tid, t.seq), Sampled: true},
+		tc:       TraceContext{TraceID: tid, SpanID: deriveSpanID(tid, t.salt^t.seq), Sampled: true},
 		parentSp: parentSp,
 	}
 	ev := map[string]any{

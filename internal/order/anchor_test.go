@@ -1,0 +1,111 @@
+package order
+
+import (
+	"testing"
+
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+)
+
+// pathN builds a path of n vertices with label 0.
+func pathN(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), 0)
+	}
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAnchorPath: a path's anchor is its center (minimum eccentricity),
+// ties broken by the lowest id.
+func TestAnchorPath(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantV   graph.VertexID
+		wantEcc int
+	}{
+		{1, 0, 0},
+		{2, 0, 1}, // both ends have ecc 1; lowest id wins
+		{3, 1, 1}, // the middle
+		{5, 2, 2},
+		{6, 2, 3}, // two centers (2, 3) with ecc 3; lowest id wins
+	}
+	for _, c := range cases {
+		v, ecc := Anchor(pathN(t, c.n))
+		if v != c.wantV || ecc != c.wantEcc {
+			t.Errorf("P%d: Anchor = (%d, %d), want (%d, %d)", c.n, v, ecc, c.wantV, c.wantEcc)
+		}
+	}
+}
+
+// TestAnchorStar: a star's anchor is the hub with eccentricity 1.
+func TestAnchorStar(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for v := 0; v < 5; v++ {
+		b.SetLabel(graph.VertexID(v), 0)
+	}
+	for leaf := 1; leaf < 5; leaf++ {
+		b.AddEdge(0, graph.VertexID(leaf))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ecc := Anchor(g)
+	if v != 0 || ecc != 1 {
+		t.Fatalf("star: Anchor = (%d, %d), want (0, 1)", v, ecc)
+	}
+}
+
+// TestAnchorEccentricityIsMinimum: on random connected graphs the
+// anchor's eccentricity must be the true minimum over all vertices,
+// verified against independent BFS sweeps.
+func TestAnchorEccentricityIsMinimum(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := gen.WithRandomLabels(gen.ErdosRenyi(40, 100, seed), 3, seed)
+		anchor, got := Anchor(g)
+		// Independent check: BFS from every vertex.
+		min := g.NumVertices()
+		for s := 0; s < g.NumVertices(); s++ {
+			if e := eccFrom(g, graph.VertexID(s)); e < min {
+				min = e
+			}
+		}
+		if got != min {
+			t.Errorf("seed %d: anchor %d has ecc %d, true minimum is %d", seed, anchor, got, min)
+		}
+	}
+}
+
+// eccFrom computes s's eccentricity with a plain BFS.
+func eccFrom(g *graph.Graph, s graph.VertexID) int {
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []graph.VertexID{s}
+	ecc := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if dist[w] > ecc {
+					ecc = dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return ecc
+}

@@ -436,3 +436,43 @@ func connected(g *graph.Graph) bool {
 	}
 	return count == n
 }
+
+// Anchor returns the query vertex with minimum eccentricity (the graph
+// center) and that eccentricity, breaking ties toward the lowest vertex
+// ID. Sharded serving forces this vertex as the root of every shard's
+// index: any embedding mapping Anchor to data vertex v lies entirely
+// within data-graph distance ecc of v, so a shard holding v's
+// ecc-radius halo finds the whole embedding locally. The query must be
+// connected (callers run Preprocess first, which validates that).
+func Anchor(query *graph.Graph) (graph.VertexID, int) {
+	n := query.NumVertices()
+	best, bestEcc := graph.VertexID(0), n // ecc < n always for connected graphs
+	dist := make([]int, n)
+	queue := make([]graph.VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, graph.VertexID(s))
+		dist[s] = 0
+		ecc := 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if dist[v] > ecc {
+				ecc = dist[v]
+			}
+			for _, w := range query.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		if ecc < bestEcc {
+			best, bestEcc = graph.VertexID(s), ecc
+		}
+	}
+	return best, bestEcc
+}

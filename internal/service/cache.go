@@ -35,8 +35,12 @@ type entry struct {
 	ix      atomic.Pointer[icec.Index]
 	query   *graph.Graph // the stored query (its numbering indexes embeddings)
 	invPerm []int        // canonical position -> stored query vertex
-	bytes   int64
-	elem    *list.Element
+	// pivots restricts the index to owned embedding clusters (shard
+	// mode; nil on single-node engines). Immutable after build; replans
+	// must rebuild with the same restriction.
+	pivots []graph.VertexID
+	bytes  int64
+	elem   *list.Element
 
 	// Adaptive-planner state (Options.Planner): the planner that scored
 	// this query class's orders, the decision currently executing, and

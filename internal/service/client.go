@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"time"
 
 	"ceci/internal/obs"
 )
@@ -26,10 +29,20 @@ func outgoingTrace(ctx context.Context) obs.TraceContext {
 }
 
 // Client is a thin typed client for the service HTTP API, used by
-// ceciserve's tests and the CI smoke job.
+// ceciserve's tests, the shard router, and the CI smoke jobs.
+//
+// Transient failures — connection errors and 429 load-shed responses —
+// are retried with bounded exponential backoff and full jitter,
+// respecting the request context's deadline. Everything else (4xx, 5xx,
+// 504-with-partial-body) is returned to the caller on the first
+// attempt.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	attempts  int           // total tries per request (default 4)
+	baseDelay time.Duration // first backoff step (default 50ms)
+	maxDelay  time.Duration // backoff ceiling (default 1s)
 }
 
 // NewClient returns a client for a server at base (e.g.
@@ -38,7 +51,91 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient}
+	return &Client{
+		base:      base,
+		hc:        httpClient,
+		attempts:  4,
+		baseDelay: 50 * time.Millisecond,
+		maxDelay:  time.Second,
+	}
+}
+
+// SetRetry tunes the retry policy: attempts is the total number of
+// tries (1 disables retries), base the first backoff step, max the
+// ceiling. Values <= 0 keep the current setting.
+func (c *Client) SetRetry(attempts int, base, max time.Duration) {
+	if attempts > 0 {
+		c.attempts = attempts
+	}
+	if base > 0 {
+		c.baseDelay = base
+	}
+	if max > 0 {
+		c.maxDelay = max
+	}
+}
+
+// retryable reports whether a failed attempt should be retried:
+// connection-level errors (server not yet up, reset mid-accept) unless
+// caused by the caller's own context, and 429 responses (admission
+// queue full — the server explicitly asked us to back off).
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	return resp.StatusCode == http.StatusTooManyRequests
+}
+
+// do runs one request with retries. newReq builds a fresh request per
+// attempt (bodies are single-shot readers). The response body of a
+// retried attempt is drained and closed before the next try.
+func (c *Client) do(ctx context.Context, newReq func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, lastErr
+			}
+		}
+		hreq, err := newReq()
+		if err != nil {
+			return nil, err
+		}
+		hresp, err := c.hc.Do(hreq)
+		if !retryable(hresp, err) || attempt == c.attempts-1 {
+			return hresp, err
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = &APIError{StatusCode: hresp.StatusCode, Message: "overloaded (retries exhausted)"}
+			io.Copy(io.Discard, io.LimitReader(hresp.Body, 4096))
+			hresp.Body.Close()
+		}
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps exponential-with-full-jitter for the given attempt
+// number (1-based), returning early with the context's error if the
+// deadline fires first — a retry that cannot finish is not started.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	step := c.baseDelay << (attempt - 1)
+	if step > c.maxDelay || step <= 0 {
+		step = c.maxDelay
+	}
+	d := time.Duration(rand.Int64N(int64(step))) + step/2 // jitter in [step/2, 1.5*step)
+	if d > c.maxDelay {
+		d = c.maxDelay
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
 }
 
 // APIError is a non-2xx response. Unwrap exposes the sentinel matching
@@ -79,15 +176,17 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if tc := outgoingTrace(ctx); tc.Valid() {
-		hreq.Header.Set("traceparent", tc.Traceparent())
-	}
-	hresp, err := c.hc.Do(hreq)
+	hresp, err := c.do(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if tc := outgoingTrace(ctx); tc.Valid() {
+			hreq.Header.Set("traceparent", tc.Traceparent())
+		}
+		return hreq, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +210,14 @@ func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
 	return &out, nil
 }
 
+// Ready probes readiness: GET /healthz?ready=1 returns nil only once
+// the server has its resident graph (and shard partition) loaded and
+// can serve queries. The router's health checker calls this.
+func (c *Client) Ready(ctx context.Context) error {
+	var out HealthResponse
+	return c.getJSON(ctx, "/healthz?ready=1", &out)
+}
+
 // Queryz fetches the flight-recorder document: recent and slowest
 // completed queries.
 func (c *Client) Queryz(ctx context.Context) (*QueryzResponse, error) {
@@ -124,11 +231,30 @@ func (c *Client) Queryz(ctx context.Context) (*QueryzResponse, error) {
 // Tracez fetches a sampled query's span tree as Chrome trace_event
 // JSON bytes (load the result in chrome://tracing or Perfetto).
 func (c *Client) Tracez(ctx context.Context, traceID string) ([]byte, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/tracez/"+traceID, nil)
+	hresp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/tracez/"+traceID, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
-	hresp, err := c.hc.Do(hreq)
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: hresp.StatusCode, Message: string(body)}
+	}
+	return body, nil
+}
+
+// TracezJSONL fetches a sampled query's spans in the compact per-span
+// JSONL form (parse with obs.ReadSpanJSONL). The shard router uses this
+// to stitch shard subtrees under its own routing span.
+func (c *Client) TracezJSONL(ctx context.Context, traceID string) ([]byte, error) {
+	hresp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/tracez/"+traceID+"?format=jsonl", nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +279,9 @@ func (c *Client) Cachez(ctx context.Context) (*CacheStats, error) {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	hresp, err := c.hc.Do(hreq)
+	hresp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetries429ThenSucceeds: load-shed responses are retried
+// with backoff until the server admits the request.
+func TestClientRetries429ThenSucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(srv.Close)
+
+	cl := NewClient(srv.URL, nil)
+	cl.SetRetry(4, 5*time.Millisecond, 50*time.Millisecond)
+	h, err := cl.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz after retries: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 429s + success)", got)
+	}
+}
+
+// TestClientRetriesConnectionErrors: a server that is down when the
+// request starts but comes up during the backoff window is reached by a
+// later attempt — the shard-fleet startup pattern.
+func TestClientRetriesConnectionErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing is listening now
+
+	var served atomic.Int64
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		http.Serve(ln2, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			served.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"status":"ok"}`))
+		}))
+	}()
+
+	cl := NewClient("http://"+addr, nil)
+	h, err := cl.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz never reached the late server: %v", err)
+	}
+	if h.Status != "ok" || served.Load() == 0 {
+		t.Fatalf("status %q served %d", h.Status, served.Load())
+	}
+}
+
+// TestClientDoesNotRetryBadRequest: 4xx responses other than 429 are
+// the caller's fault — exactly one attempt.
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"bad query"}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(srv.Close)
+
+	cl := NewClient(srv.URL, nil)
+	_, err := cl.Query(context.Background(), QueryRequest{Labels: []uint32{0}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestClientBackoffRespectsContext: retries stop when the caller's
+// deadline fires mid-backoff; the last transport error is returned
+// promptly instead of sleeping through the remaining attempts.
+func TestClientBackoffRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+
+	cl := NewClient(srv.URL, nil)
+	cl.SetRetry(4, 200*time.Millisecond, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := cl.Healthz(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want an error when every attempt is shed")
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want the 429 APIError", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("took %v; the deadline should cut the backoff short", elapsed)
+	}
+}

@@ -52,13 +52,23 @@ type QueryResponse struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// HealthResponse is the wire form of GET /healthz.
+// HealthResponse is the wire form of GET /healthz. Liveness and
+// readiness are distinct: a process that answers at all is live, but
+// Ready is true only once the resident graph (and shard partition, in
+// shard mode) is loaded and queries can be served. `GET /healthz?ready=1`
+// returns 503 until then, so routers and smoke tests don't race startup.
 type HealthResponse struct {
 	Status       string         `json:"status"`
+	Ready        bool           `json:"ready"`
 	DataVertices int            `json:"data_vertices"`
 	DataEdges    int            `json:"data_edges"`
 	DataLabels   int            `json:"data_labels"`
 	Build        buildinfo.Info `json:"build"`
+	// Shard identity, present in shard mode only.
+	ShardID     *int `json:"shard_id,omitempty"`
+	ShardCount  int  `json:"shard_count,omitempty"`
+	ShardRadius int  `json:"shard_radius,omitempty"`
+	ShardOwned  int  `json:"shard_owned,omitempty"`
 }
 
 // QueryzResponse is the wire form of GET /queryz: the flight recorder's
@@ -174,13 +184,25 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	// An engine only exists with its graph resident, so it is always
+	// ready; the pre-load 503 phase is served by the startup gate in
+	// cmd/ceciserve before this handler is swapped in.
+	h := HealthResponse{
 		Status:       "ok",
+		Ready:        true,
 		DataVertices: e.data.NumVertices(),
 		DataEdges:    e.data.NumEdges(),
 		DataLabels:   e.data.NumLabels(),
 		Build:        buildinfo.Get(),
-	})
+	}
+	if sc := e.opts.Shard; sc != nil {
+		id := sc.ID
+		h.ShardID = &id
+		h.ShardCount = sc.Shards
+		h.ShardRadius = sc.Radius
+		h.ShardOwned = len(sc.OwnedLocals)
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // serverTiming renders the Server-Timing response header: the query's
@@ -331,6 +353,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
+
+// Graph materializes the pattern graph from whichever wire form is
+// set. Exported for the shard router, which inspects the query (radius
+// guard) before scattering it across the fleet.
+func (q *QueryRequest) Graph() (*graph.Graph, error) { return q.queryGraph() }
 
 // queryGraph materializes the pattern from whichever wire form is set.
 func (q *QueryRequest) queryGraph() (*graph.Graph, error) {

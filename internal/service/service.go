@@ -111,6 +111,38 @@ type Options struct {
 	// telemetry.Ledger charged by the enumeration at work-unit
 	// boundaries; the snapshot rides the flight record.
 	Telemetry *telemetry.Hub
+	// Shard, when non-nil, runs the engine as one member of a sharded
+	// fleet: the resident graph is a pivot-owned partition (owned
+	// vertices plus a halo of radius Shard.Radius), indexes restrict
+	// their embedding clusters to owned pivots, and embeddings are
+	// translated back to the source graph's global vertex ids. See
+	// internal/shard for the partitioning contract.
+	Shard *ShardConfig
+}
+
+// ShardConfig describes the partition an Engine serves in shard mode.
+// It mirrors shard.Partition without importing it (the shard package's
+// router imports service, not the other way around).
+type ShardConfig struct {
+	// ID is this shard's index in [0, Shards).
+	ID int
+	// Shards is the fleet size the partition was cut for.
+	Shards int
+	// Radius is the halo depth: every vertex within this data-graph
+	// distance of an owned vertex is present in the resident subgraph.
+	// Queries whose anchor eccentricity exceeds it are rejected — the
+	// shard cannot guarantee it holds their full embeddings.
+	Radius int
+	// Globals maps local vertex id -> global (source graph) vertex id.
+	// It is strictly ascending, which makes local-id comparisons agree
+	// with global-id comparisons — the property that keeps
+	// symmetry-breaking orbit representatives identical across the
+	// fleet and on a single node.
+	Globals []graph.VertexID
+	// OwnedLocals lists the local ids this shard owns (sorted). Only
+	// embedding clusters pivoted on owned vertices are enumerated, so
+	// fleet-wide shard counts partition the single-node count exactly.
+	OwnedLocals []graph.VertexID
 }
 
 func (o Options) withDefaults() Options {
@@ -571,6 +603,13 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span, led *tele
 		Depth:   ds,
 	})
 
+	// Shard mode: enumerated ids are shard-local; responses speak global
+	// (source graph) ids so the router can merge shards without a map.
+	var globals []graph.VertexID
+	if sc := e.opts.Shard; sc != nil {
+		globals = sc.Globals
+	}
+
 	enumStart := time.Now()
 	var count atomic.Int64
 	var mu sync.Mutex
@@ -585,7 +624,11 @@ func (e *Engine) run(ctx context.Context, req Request, span *obs.Span, led *tele
 		}
 		out := make([]graph.VertexID, len(emb))
 		for u := range out {
-			out[u] = emb[sigma[u]]
+			dv := emb[sigma[u]]
+			if globals != nil {
+				dv = globals[dv]
+			}
+			out[u] = dv
 		}
 		mu.Lock()
 		page = append(page, out)
@@ -668,9 +711,12 @@ func (e *Engine) replan(ent *entry, calib []float64) {
 	}
 	// New order: rebuild off the request path's deadline — the rebuild
 	// benefits future queries of this class, not the one that noticed.
+	// The entry's pivot restriction (shard mode) carries over; dropping
+	// it here would silently widen the shard to the whole graph.
 	ix, err := icec.BuildCtx(context.Background(), e.data, dec.Tree, icec.Options{
 		Workers: e.opts.Workers,
 		Stats:   e.opts.Stats,
+		Pivots:  ent.pivots,
 	})
 	if err != nil {
 		done()
@@ -764,13 +810,48 @@ func queryHash(key string) string {
 // the cache on success. With Options.Planner the matching order comes
 // from the cost-based planner and the winning plan is cached alongside
 // the index for later drift checks.
+//
+// In shard mode the stored query is the incoming query's canonical form
+// and the index root is forced to the canonical anchor (the query's
+// minimum-eccentricity vertex). Both choices are isomorphism-invariant,
+// so every shard — whichever renumbering of the query class it saw
+// first — partitions embeddings by the same query vertex and agrees
+// with single-node serving on symmetry-breaking representatives.
 func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, perm []int) (*entry, error) {
 	var tree *order.QueryTree
 	var planner *plan.Planner
 	var decision *plan.Decision
+	var pivots []graph.VertexID
 	var err error
+	forcedRoot := -1
+	storedQuery := q
+	invPerm := invertPerm(perm)
+	if sc := e.opts.Shard; sc != nil {
+		storedQuery, err = canonicalForm(q, perm)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		// Stored query ids == canonical positions, so translation back
+		// from the stored numbering is the identity.
+		invPerm = identityPerm(len(perm))
+		anchor, ecc := order.Anchor(storedQuery)
+		if ecc > sc.Radius {
+			return nil, fmt.Errorf("%w: query anchor eccentricity %d exceeds shard halo radius %d; repartition with -radius >= %d",
+				ErrBadQuery, ecc, sc.Radius, ecc)
+		}
+		forcedRoot = int(anchor)
+		// Owned pivots only: clusters anchored on halo vertices belong to
+		// the shard that owns them. Non-nil even when empty, so the index
+		// build restricts rather than re-deriving root candidates.
+		pivots = make([]graph.VertexID, 0)
+		order.ForEachCandidate(e.data, storedQuery, anchor, func(v graph.VertexID) {
+			if containsVertex(sc.OwnedLocals, v) {
+				pivots = append(pivots, v)
+			}
+		})
+	}
 	if e.opts.Planner {
-		planner, err = plan.New(e.data, q, plan.Options{ForcedRoot: -1})
+		planner, err = plan.New(e.data, storedQuery, plan.Options{ForcedRoot: forcedRoot})
 		if err == nil {
 			decision, err = planner.Decide(nil)
 		}
@@ -778,8 +859,8 @@ func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, per
 			tree = decision.Tree
 		}
 	} else {
-		tree, err = order.Preprocess(e.data, q, order.Options{
-			ForcedRoot: -1,
+		tree, err = order.Preprocess(e.data, storedQuery, order.Options{
+			ForcedRoot: forcedRoot,
 			Heuristic:  e.opts.Order,
 		})
 	}
@@ -789,6 +870,7 @@ func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, per
 	ix, err := icec.BuildCtx(ctx, e.data, tree, icec.Options{
 		Workers: e.opts.Workers,
 		Stats:   e.opts.Stats,
+		Pivots:  pivots,
 	})
 	if err != nil {
 		return nil, err
@@ -796,8 +878,9 @@ func (e *Engine) buildEntry(ctx context.Context, q *graph.Graph, key string, per
 	e.builds.Add(1)
 	ent := &entry{
 		key:      key,
-		query:    q,
-		invPerm:  invertPerm(perm),
+		query:    storedQuery,
+		invPerm:  invPerm,
+		pivots:   pivots,
 		bytes:    ix.PhysicalBytes(),
 		planner:  planner,
 		decision: decision,
@@ -829,6 +912,50 @@ func invertPerm(perm []int) []int {
 		inv[p] = v
 	}
 	return inv
+}
+
+func identityPerm(n int) []int {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	return id
+}
+
+// canonicalForm rebuilds q under its canonical numbering (perm from
+// verify.CanonicalGraph, perm[orig] = canonical position). Isomorphic
+// queries produce identical graphs, which is what makes shard-mode
+// anchor and matching-order choices consistent fleet-wide.
+func canonicalForm(q *graph.Graph, perm []int) (*graph.Graph, error) {
+	n := q.NumVertices()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		labels := q.Labels(graph.VertexID(v))
+		cv := graph.VertexID(perm[v])
+		b.SetLabel(cv, labels[0])
+		for _, l := range labels[1:] {
+			b.AddExtraLabel(cv, l)
+		}
+	}
+	q.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(graph.VertexID(perm[u]), graph.VertexID(perm[v]))
+		return true
+	})
+	return b.Build()
+}
+
+// containsVertex reports whether sorted holds v (binary search).
+func containsVertex(sorted []graph.VertexID, v graph.VertexID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
 }
 
 func isCtxErr(err error) bool {

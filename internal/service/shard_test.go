@@ -1,0 +1,64 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ceci/internal/graph"
+)
+
+// wholeGraphShard wraps data as a single shard owning every vertex with
+// identity global ids.
+func wholeGraphShard(data *graph.Graph, radius int) *ShardConfig {
+	n := data.NumVertices()
+	ids := make([]graph.VertexID, n)
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	return &ShardConfig{ID: 0, Shards: 1, Radius: radius, Globals: ids, OwnedLocals: ids}
+}
+
+// TestShardModeSingleShardMatchesPlain: a one-shard fleet owning the
+// whole graph must behave exactly like a plain engine — same counts,
+// same embeddings after the (identity) global translation.
+func TestShardModeSingleShardMatchesPlain(t *testing.T) {
+	data := testData()
+	plain := New(data, Options{MaxLimit: 1 << 20})
+	sharded := New(data, Options{MaxLimit: 1 << 20, Shard: wholeGraphShard(data, 4)})
+	for i, q := range []*graph.Graph{
+		pathQuery(t, 0, 1),
+		pathQuery(t, 1, 2, 3),
+		pathQuery(t, 3, 1, 2, 0),
+	} {
+		want, err := plain.Query(context.Background(), Request{Query: q})
+		if err != nil {
+			t.Fatalf("query %d plain: %v", i, err)
+		}
+		got, err := sharded.Query(context.Background(), Request{Query: q})
+		if err != nil {
+			t.Fatalf("query %d sharded: %v", i, err)
+		}
+		if got.Count != want.Count {
+			t.Fatalf("query %d: shard count %d, plain %d", i, got.Count, want.Count)
+		}
+	}
+}
+
+// TestShardModeRadiusGuard: a query whose anchor eccentricity exceeds
+// the shard's halo radius is refused with ErrBadQuery — answering it
+// could silently miss embeddings that leave the halo.
+func TestShardModeRadiusGuard(t *testing.T) {
+	data := testData()
+	eng := New(data, Options{Shard: wholeGraphShard(data, 1)})
+
+	// A 3-path's anchor (the middle) has eccentricity 1: servable.
+	if _, err := eng.Query(context.Background(), Request{Query: pathQuery(t, 1, 2, 3)}); err != nil {
+		t.Fatalf("ecc-1 query refused: %v", err)
+	}
+	// A 5-path's anchor has eccentricity 2 > radius 1: rejected.
+	_, err := eng.Query(context.Background(), Request{Query: pathQuery(t, 0, 1, 2, 1, 0)})
+	if !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("ecc-2 query: err = %v, want ErrBadQuery", err)
+	}
+}

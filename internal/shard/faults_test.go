@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	ceciroot "ceci"
+	"ceci/internal/gen"
+	"ceci/internal/order"
+	"ceci/internal/service"
+)
+
+// restartableShard is one shard served on a fixed address that tests
+// can kill and bring back — the unit of fault injection.
+type restartableShard struct {
+	t    *testing.T
+	eng  *service.Engine
+	addr string
+	srv  *http.Server
+}
+
+func startRestartable(t *testing.T, p *Partition) *restartableShard {
+	t.Helper()
+	s := &restartableShard{t: t, eng: shardEngine(p, service.Options{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.addr = ln.Addr().String()
+	s.serve(ln)
+	t.Cleanup(s.kill)
+	return s
+}
+
+func (s *restartableShard) serve(ln net.Listener) {
+	s.srv = &http.Server{Handler: s.eng.Handler()}
+	srv := s.srv
+	go func() { srv.Serve(ln) }()
+}
+
+// kill closes the listener and every open connection at once.
+func (s *restartableShard) kill() {
+	if s.srv != nil {
+		s.srv.Close()
+		s.srv = nil
+	}
+}
+
+// restart re-listens on the original address with the same engine.
+func (s *restartableShard) restart() {
+	s.t.Helper()
+	var ln net.Listener
+	var err error
+	// The old listener's port can linger briefly; retry the bind.
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", s.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		s.t.Fatalf("rebind %s: %v", s.addr, err)
+	}
+	s.serve(ln)
+}
+
+// TestShardFailureIsExplicitPartial: killing a shard must surface as an
+// explicit partial result naming the dead shard — never a silent
+// undercount — and restarting it must re-admit it within the
+// health-check interval, restoring exact counts.
+func TestShardFailureIsExplicitPartial(t *testing.T) {
+	data, query := gen.RandomPair(9)
+	_, ecc := order.Anchor(query)
+	radius := ecc
+	if radius < 1 {
+		radius = 1
+	}
+	m, err := ceciroot.Match(data, query, &ceciroot.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCount := int64(len(m.Collect()))
+
+	parts, err := Split(data, PartitionOptions{Shards: 3, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*restartableShard, len(parts))
+	urls := make([][]string, len(parts))
+	for i, p := range parts {
+		shards[i] = startRestartable(t, p)
+		urls[i] = []string{"http://" + shards[i].addr}
+	}
+
+	rt, err := NewRouter(RouterOptions{
+		Shards:         urls,
+		Radius:         radius,
+		HealthInterval: 25 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		HealthFails:    1,
+		MaxLimit:       1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+
+	waitReady := func(what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !rt.Ready() {
+			if time.Now().After(deadline) {
+				t.Fatalf("router never became ready %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitReady("at startup")
+
+	wire := service.QueryRequest{Query: wireText(t, query), Limit: 1 << 20}
+
+	// Baseline: whole fleet answers, counts are exact.
+	resp, status := postRoute(t, rsrv.URL, wire)
+	if status != http.StatusOK || resp.Partial || resp.Count != fullCount {
+		t.Fatalf("baseline: status %d partial %v count %d, want 200/false/%d",
+			status, resp.Partial, resp.Count, fullCount)
+	}
+	if resp.ShardsOK != 3 {
+		t.Fatalf("baseline shards_ok = %d, want 3", resp.ShardsOK)
+	}
+
+	// Kill shard 1 and query before the health checker can exclude it:
+	// the dead leg must be reported, not absorbed.
+	shards[1].kill()
+	resp, status = postRoute(t, rsrv.URL, wire)
+	if status != http.StatusOK {
+		t.Fatalf("post-kill status %d, want 200 with partial accounting", status)
+	}
+	if !resp.Partial {
+		t.Fatal("killed shard produced a non-partial response: silent undercount")
+	}
+	if len(resp.ShardsFailed) != 1 || resp.ShardsFailed[0] != 1 {
+		t.Fatalf("shards_failed = %v, want [1]", resp.ShardsFailed)
+	}
+	if resp.ShardsOK != 2 {
+		t.Fatalf("shards_ok = %d, want 2", resp.ShardsOK)
+	}
+	if resp.Count > fullCount {
+		t.Fatalf("partial count %d exceeds full count %d", resp.Count, fullCount)
+	}
+	if len(resp.ShardErrors) == 0 {
+		t.Fatal("partial response carries no shard_errors detail")
+	}
+
+	// Restart: the health checker must re-admit the shard and exact
+	// counts must return.
+	shards[1].restart()
+	waitReady("after restart")
+	resp, status = postRoute(t, rsrv.URL, wire)
+	if status != http.StatusOK || resp.Partial || resp.Count != fullCount {
+		t.Fatalf("post-restart: status %d partial %v count %d, want 200/false/%d",
+			status, resp.Partial, resp.Count, fullCount)
+	}
+}
+
+// TestAllShardsDownIs502: with every shard dead the router answers 502
+// — an error, not an empty success.
+func TestAllShardsDownIs502(t *testing.T) {
+	data, query := gen.RandomPair(3)
+	_, ecc := order.Anchor(query)
+	radius := ecc
+	if radius < 1 {
+		radius = 1
+	}
+	parts, err := Split(data, PartitionOptions{Shards: 2, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([][]string, len(parts))
+	for i, p := range parts {
+		s := startRestartable(t, p)
+		urls[i] = []string{"http://" + s.addr}
+		s.kill()
+	}
+	rt, err := NewRouter(RouterOptions{Shards: urls, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+
+	resp, status := postRoute(t, rsrv.URL, service.QueryRequest{Query: wireText(t, query), CountOnly: true})
+	if status != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", status)
+	}
+	if !resp.Partial || resp.Error == "" {
+		t.Fatalf("502 body should be explicit: partial %v error %q", resp.Partial, resp.Error)
+	}
+}

@@ -1,0 +1,846 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceci/internal/buildinfo"
+	"ceci/internal/graph"
+	"ceci/internal/obs"
+	"ceci/internal/order"
+	"ceci/internal/service"
+	"ceci/internal/telemetry"
+)
+
+// Replica is one shard server the router can send a leg to. Health
+// state is maintained by the background checker; inflight counts the
+// router's own outstanding requests (the least-loaded policy's signal).
+type Replica struct {
+	Shard int
+	URL   string
+
+	client  *service.Client // query path: retries + backoff
+	healthc *service.Client // probe path: single attempt
+
+	healthy  atomic.Bool
+	checked  atomic.Bool // at least one probe ever succeeded
+	fails    atomic.Int64
+	inflight atomic.Int64
+	lastErr  atomic.Value // string
+}
+
+// Healthy reports whether the replica passed its latest probes.
+func (r *Replica) Healthy() bool { return r.healthy.Load() }
+
+// Checked reports whether the replica has ever passed a probe.
+func (r *Replica) Checked() bool { return r.checked.Load() }
+
+// Inflight returns the router's outstanding requests to this replica.
+func (r *Replica) Inflight() int64 { return r.inflight.Load() }
+
+// RouterOptions configures a Router. Zero values get serving defaults.
+type RouterOptions struct {
+	// Shards[i] lists the replica base URLs serving shard i. Every
+	// shard needs at least one replica.
+	Shards [][]string
+	// Radius is the fleet's halo radius (from the manifest): queries
+	// whose anchor eccentricity exceeds it are rejected at the router
+	// with 400 instead of scattering a doomed request.
+	Radius int
+	// Policy picks replicas within a shard (default round-robin).
+	Policy RoutingPolicy
+	// HealthInterval is the probe period (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 2s).
+	HealthTimeout time.Duration
+	// HealthFails is how many consecutive probe failures exclude a
+	// replica (default 2). One success re-admits it.
+	HealthFails int
+	// Hedge launches a second replica when the first has not answered
+	// within this delay (0 disables; ignored by broadcast, which
+	// already queries everyone).
+	Hedge time.Duration
+	// DefaultTimeout applies when a request carries none (default 30s);
+	// MaxTimeout clamps request-supplied timeouts (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DeadlineMargin is held back from the per-shard deadline so the
+	// router can merge and respond inside the caller's budget
+	// (default 50ms).
+	DeadlineMargin time.Duration
+	// MaxLimit caps merged embeddings per request (default 10000).
+	MaxLimit int64
+	// Tracer + TraceSample mirror service.Options: sampled requests get
+	// a routing span tree with one scatter child per shard, stitched
+	// with the shards' own span trees at gather time.
+	Tracer      *obs.Tracer
+	TraceSample float64
+	// FlightSize/SlowestK size the router's flight recorder (/queryz).
+	FlightSize int
+	SlowestK   int
+	// Registry, when non-nil, receives router gauges and the latency
+	// histogram, and serves the metric routes under the handler.
+	Registry *obs.Registry
+	// Telemetry, when non-nil, observes routed queries (SLO burn) and
+	// serves /statz and /dashz.
+	Telemetry *telemetry.Hub
+	// HTTPClient overrides the transport (tests); nil = defaults.
+	HTTPClient *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.Policy == nil {
+		o.Policy = NewRoundRobin()
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = 2 * time.Second
+	}
+	if o.HealthFails <= 0 {
+		o.HealthFails = 2
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.DeadlineMargin <= 0 {
+		o.DeadlineMargin = 50 * time.Millisecond
+	}
+	if o.MaxLimit <= 0 {
+		o.MaxLimit = 10000
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
+	}
+	return o
+}
+
+// RouteResponse is the router's wire form: the merged QueryResponse
+// plus explicit per-shard accounting. A killed shard surfaces as
+// Partial=true with its id in ShardsFailed — never a silent undercount.
+type RouteResponse struct {
+	service.QueryResponse
+	ShardsTotal  int               `json:"shards_total"`
+	ShardsOK     int               `json:"shards_ok"`
+	ShardsFailed []int             `json:"shards_failed,omitempty"`
+	ShardErrors  map[string]string `json:"shard_errors,omitempty"`
+	// Hedged counts scatter legs answered by a hedge or failover
+	// replica rather than the primary.
+	Hedged int `json:"hedged,omitempty"`
+}
+
+// RouterHealth is the router's GET /healthz document.
+type RouterHealth struct {
+	Status string         `json:"status"`
+	Ready  bool           `json:"ready"`
+	Shards int            `json:"shards"`
+	Radius int            `json:"radius"`
+	Policy string         `json:"policy"`
+	Build  buildinfo.Info `json:"build"`
+}
+
+// ShardzReplica is one replica's status in GET /shardz.
+type ShardzReplica struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Checked  bool   `json:"checked"`
+	Inflight int64  `json:"inflight"`
+	Fails    int64  `json:"consecutive_fails"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// ShardzResponse is the GET /shardz document.
+type ShardzResponse struct {
+	Policy string            `json:"policy"`
+	Radius int               `json:"radius"`
+	Shards [][]ShardzReplica `json:"shards"`
+}
+
+// Router scatter-gathers queries across a shard fleet. It is stateless
+// with respect to the data: shards hold the partitions; the router
+// holds only replica health and observability state.
+type Router struct {
+	opts   RouterOptions
+	shards [][]*Replica
+	flight *obs.FlightRecorder
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     sync.WaitGroup
+
+	requests atomic.Int64
+	failures atomic.Int64 // responses with zero usable shards
+	partials atomic.Int64 // responses missing at least one shard
+	hedges   atomic.Int64 // hedge/failover legs launched
+
+	latency *obs.Histogram
+}
+
+// NewRouter builds a Router over the given fleet. Call Start to begin
+// health checking (until then every replica is unchecked and scatter
+// falls back to trying all of them).
+func NewRouter(opts RouterOptions) (*Router, error) {
+	o := opts.withDefaults()
+	if len(o.Shards) == 0 {
+		return nil, errors.New("shard: router needs at least one shard")
+	}
+	rt := &Router{
+		opts:    o,
+		stop:    make(chan struct{}),
+		flight:  obs.NewFlightRecorder(o.FlightSize, o.SlowestK),
+		latency: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+	for i, urls := range o.Shards {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replicas", i)
+		}
+		var reps []*Replica
+		for _, u := range urls {
+			rep := &Replica{
+				Shard:   i,
+				URL:     u,
+				client:  service.NewClient(u, o.HTTPClient),
+				healthc: service.NewClient(u, o.HTTPClient),
+			}
+			rep.healthc.SetRetry(1, 0, 0) // probes are their own retry loop
+			rep.lastErr.Store("")
+			reps = append(reps, rep)
+		}
+		rt.shards = append(rt.shards, reps)
+	}
+	if reg := o.Registry; reg != nil {
+		reg.SetHistogram("router_latency_seconds", rt.latency)
+		reg.SetSource("router", func() map[string]int64 {
+			healthy := int64(0)
+			for _, reps := range rt.shards {
+				for _, rep := range reps {
+					if rep.Healthy() {
+						healthy++
+					}
+				}
+			}
+			return map[string]int64{
+				"requests":         rt.requests.Load(),
+				"failures":         rt.failures.Load(),
+				"partials":         rt.partials.Load(),
+				"hedges":           rt.hedges.Load(),
+				"healthy_replicas": healthy,
+			}
+		})
+		if o.Tracer != nil {
+			reg.SetTracer(o.Tracer)
+		}
+		o.Telemetry.BindRegistry(reg)
+	}
+	return rt, nil
+}
+
+// Flight returns the router's flight recorder (/queryz backing store).
+func (rt *Router) Flight() *obs.FlightRecorder { return rt.flight }
+
+// Start launches the health-check loop: an immediate probe of every
+// replica, then one round per HealthInterval.
+func (rt *Router) Start() {
+	rt.done.Add(1)
+	go func() {
+		defer rt.done.Done()
+		rt.probeAll()
+		t := time.NewTicker(rt.opts.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rt.probeAll()
+			case <-rt.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the health-check loop.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.done.Wait()
+}
+
+// Ready reports whether every shard has at least one probed-healthy
+// replica — the router's own readiness condition.
+func (rt *Router) Ready() bool {
+	for _, reps := range rt.shards {
+		ok := false
+		for _, rep := range reps {
+			if rep.Checked() && rep.Healthy() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// probeAll health-checks every replica concurrently.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, reps := range rt.shards {
+		for _, rep := range reps {
+			wg.Add(1)
+			go func(rep *Replica) {
+				defer wg.Done()
+				rt.probe(rep)
+			}(rep)
+		}
+	}
+	wg.Wait()
+}
+
+// probe runs one readiness check: /healthz?ready=1 within
+// HealthTimeout. HealthFails consecutive failures exclude the replica;
+// a single success re-admits it.
+func (rt *Router) probe(rep *Replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.HealthTimeout)
+	defer cancel()
+	if err := rep.healthc.Ready(ctx); err != nil {
+		rep.lastErr.Store(err.Error())
+		if rep.fails.Add(1) >= int64(rt.opts.HealthFails) {
+			rep.healthy.Store(false)
+		}
+		return
+	}
+	rep.lastErr.Store("")
+	rep.fails.Store(0)
+	rep.healthy.Store(true)
+	rep.checked.Store(true)
+}
+
+// Handler returns the router's HTTP API:
+//
+//	POST /query             scatter-gather a match request across shards
+//	GET  /healthz           liveness (+ ?ready=1: 503 until every shard
+//	                        has a probed-healthy replica)
+//	GET  /shardz            per-replica health, load, and last error
+//	GET  /queryz            router flight recorder (?format=text)
+//	GET  /tracez/{traceID}  stitched span tree spanning router + shards
+//	GET  /statz, /dashz     telemetry hub (requires Options.Telemetry)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", rt.handleQuery)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /shardz", rt.handleShardz)
+	mux.HandleFunc("GET /queryz", rt.handleQueryz)
+	mux.HandleFunc("GET /tracez/{traceID}", rt.handleTracez)
+	if rt.opts.Telemetry != nil {
+		mux.HandleFunc("GET /statz", rt.handleStatz)
+		mux.HandleFunc("GET /dashz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			fmt.Fprint(w, telemetry.DashzHTML)
+		})
+	}
+	if reg := rt.opts.Registry; reg != nil {
+		mux.Handle("/", reg.Handler())
+	}
+	return mux
+}
+
+// shardResult is one scatter leg's outcome.
+type shardResult struct {
+	shard   int
+	resp    *service.QueryResponse
+	replica *Replica
+	err     error
+	hedged  bool
+}
+
+// usable reports whether the leg produced a mergeable response: success
+// or a 504 that carried its partial counts.
+func (r shardResult) usable() bool {
+	if r.err == nil {
+		return r.resp != nil
+	}
+	var apiErr *service.APIError
+	return errors.As(r.err, &apiErr) &&
+		apiErr.StatusCode == http.StatusGatewayTimeout && r.resp != nil
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	start := time.Now()
+	defer func() { rt.latency.ObserveDuration(time.Since(start)) }()
+
+	var wire service.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		writeJSON(w, http.StatusBadRequest, RouteResponse{QueryResponse: service.QueryResponse{Error: "bad JSON: " + err.Error()}})
+		return
+	}
+	q, err := wire.Graph()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, RouteResponse{QueryResponse: service.QueryResponse{Error: err.Error()}})
+		return
+	}
+	if !q.Connected() {
+		writeJSON(w, http.StatusBadRequest, RouteResponse{QueryResponse: service.QueryResponse{Error: "query graph must be connected"}})
+		return
+	}
+	if _, ecc := order.Anchor(q); ecc > rt.opts.Radius {
+		writeJSON(w, http.StatusBadRequest, RouteResponse{QueryResponse: service.QueryResponse{
+			Error: fmt.Sprintf("query anchor eccentricity %d exceeds fleet halo radius %d; repartition with a larger -radius", ecc, rt.opts.Radius),
+		}})
+		return
+	}
+	if wire.Offset < 0 || wire.Limit < 0 {
+		writeJSON(w, http.StatusBadRequest, RouteResponse{QueryResponse: service.QueryResponse{Error: "negative limit/offset"}})
+		return
+	}
+
+	// Deadline: request timeout, clamped; router default otherwise.
+	timeout := time.Duration(wire.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = rt.opts.DefaultTimeout
+	}
+	if timeout > rt.opts.MaxTimeout {
+		timeout = rt.opts.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Trace identity: join the caller's trace or mint one; the routing
+	// span becomes the parent of every scatter leg's shard subtree.
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if tc, perr := obs.ParseTraceparent(tp); perr == nil {
+			ctx = obs.ContextWithTrace(ctx, tc)
+		}
+	}
+	tc, hasTC := obs.TraceFromContext(ctx)
+	if !hasTC || tc.TraceID.IsZero() {
+		tc = obs.NewTraceContext()
+		tc.Sampled = tc.SampleHead(rt.opts.TraceSample)
+	}
+	sampled := tc.Sampled && rt.opts.Tracer != nil
+	var span *obs.Span
+	if sampled {
+		span = rt.opts.Tracer.StartRemote(tc, "route-query",
+			obs.Int("query_vertices", int64(q.NumVertices())),
+			obs.Int("shards", int64(len(rt.shards))))
+		ctx = obs.ContextWithSpan(ctx, span)
+	} else {
+		ctx = obs.DetachTrace(ctx)
+	}
+
+	// Per-shard sub-request: each shard must deliver enough embeddings
+	// to fill the global page worst-case (offset is applied after the
+	// merge — shard enumeration order gives no global offset), under a
+	// deadline that leaves the router margin to merge and respond.
+	sub := wire
+	sub.Offset = 0
+	if !wire.CountOnly {
+		limit := wire.Limit
+		if limit <= 0 || limit > rt.opts.MaxLimit {
+			limit = rt.opts.MaxLimit
+		}
+		sub.Limit = wire.Offset + limit
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl) - rt.opts.DeadlineMargin
+		if remaining < time.Millisecond {
+			remaining = time.Millisecond
+		}
+		sub.TimeoutMS = remaining.Milliseconds()
+		if sub.TimeoutMS < 1 {
+			sub.TimeoutMS = 1
+		}
+	}
+
+	// Scatter to every shard; each leg applies the routing policy and
+	// hedging over that shard's replicas.
+	results := make([]shardResult, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = rt.queryShard(ctx, i, sub, span)
+		}(i)
+	}
+	wg.Wait()
+
+	resp, status := rt.merge(wire, results)
+	resp.TraceID = tc.TraceID.String()
+
+	if span != nil {
+		// Egress traceparent names the routing span, so an upstream
+		// caller can stitch the whole fleet subtree into its own trace.
+		tcOut := span.Context()
+		tcOut.Sampled = true
+		w.Header().Set("traceparent", tcOut.Traceparent())
+	}
+	rt.finish(tc, span, q, resp, status, start, results)
+	writeJSON(w, status, resp)
+}
+
+// queryShard runs one scatter leg: pick replicas by policy, launch
+// (all at once for broadcast; primary + hedge/failover otherwise), and
+// return the first usable response. A 400 is terminal — it is the
+// query's fault, not the replica's.
+func (rt *Router) queryShard(ctx context.Context, shard int, req service.QueryRequest, parent *obs.Span) shardResult {
+	sp := parent.Child("scatter", obs.Int("shard", int64(shard)))
+	defer sp.End()
+	if sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+
+	reps := rt.pickReplicas(shard)
+	if len(reps) == 0 {
+		return shardResult{shard: shard, err: fmt.Errorf("shard %d: no replicas configured", shard)}
+	}
+	ordered, parallel := rt.opts.Policy.Pick(shard, reps)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // first usable response wins; losers are cancelled
+
+	resc := make(chan shardResult, len(ordered))
+	launch := func(rep *Replica, hedged bool) {
+		if hedged {
+			rt.hedges.Add(1)
+		}
+		go func() {
+			rep.inflight.Add(1)
+			defer rep.inflight.Add(-1)
+			resp, err := rep.client.Query(cctx, req)
+			resc <- shardResult{shard: shard, resp: resp, replica: rep, err: err, hedged: hedged}
+		}()
+	}
+
+	next := 0
+	if parallel {
+		for ; next < len(ordered); next++ {
+			launch(ordered[next], next > 0)
+		}
+	} else {
+		launch(ordered[next], false)
+		next++
+	}
+
+	var hedgeC <-chan time.Time
+	if !parallel && rt.opts.Hedge > 0 && next < len(ordered) {
+		t := time.NewTimer(rt.opts.Hedge)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	outstanding := next
+	var last shardResult
+	for outstanding > 0 {
+		select {
+		case res := <-resc:
+			outstanding--
+			if res.usable() {
+				sp.Annotate(obs.String("replica", res.replica.URL))
+				return res
+			}
+			if errors.Is(res.err, service.ErrBadQuery) {
+				return res // every replica would refuse it the same way
+			}
+			last = res
+			// Failover: the leg failed outright, try the next replica
+			// immediately rather than waiting for the hedge timer.
+			if next < len(ordered) {
+				launch(ordered[next], true)
+				next++
+				outstanding++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(ordered) {
+				launch(ordered[next], true)
+				next++
+				outstanding++
+			}
+		case <-ctx.Done():
+			if last.replica == nil {
+				return shardResult{shard: shard, err: context.Cause(ctx)}
+			}
+			return last
+		}
+	}
+	return last
+}
+
+// pickReplicas returns the shard's healthy replicas, falling back to
+// all of them when none are (a probe may lag a just-restarted shard;
+// trying is strictly better than refusing).
+func (rt *Router) pickReplicas(shard int) []*Replica {
+	all := rt.shards[shard]
+	healthy := make([]*Replica, 0, len(all))
+	for _, rep := range all {
+		if rep.Healthy() {
+			healthy = append(healthy, rep)
+		}
+	}
+	if len(healthy) == 0 {
+		return all
+	}
+	return healthy
+}
+
+// merge folds the scatter legs into one RouteResponse. Counts add,
+// embeddings concatenate (shards emit global ids), phase times take the
+// fleet max (the critical path), cache_hit ANDs. Missing shards make
+// the response Partial with explicit ids in shards_failed.
+func (rt *Router) merge(wire service.QueryRequest, results []shardResult) (*RouteResponse, int) {
+	out := &RouteResponse{ShardsTotal: len(results)}
+	out.CacheHit = true
+	var shardErrs map[string]string
+	for i, res := range results {
+		if !res.usable() {
+			msg := "unreachable"
+			if res.err != nil {
+				msg = res.err.Error()
+			}
+			if shardErrs == nil {
+				shardErrs = make(map[string]string)
+			}
+			shardErrs[strconv.Itoa(i)] = msg
+			out.ShardsFailed = append(out.ShardsFailed, i)
+			continue
+		}
+		out.ShardsOK++
+		if res.hedged {
+			out.Hedged++
+		}
+		r := res.resp
+		out.Count += r.Count
+		out.Embeddings = append(out.Embeddings, r.Embeddings...)
+		out.Partial = out.Partial || r.Partial
+		out.CacheHit = out.CacheHit && r.CacheHit
+		if r.BuildMS > out.BuildMS {
+			out.BuildMS = r.BuildMS
+		}
+		if r.EnumMS > out.EnumMS {
+			out.EnumMS = r.EnumMS
+		}
+		if out.QueryHash == "" {
+			out.QueryHash = r.QueryHash
+		}
+	}
+	out.ShardErrors = shardErrs
+
+	if out.ShardsOK == 0 {
+		rt.failures.Add(1)
+		out.CacheHit = false
+		out.Partial = true
+		out.Embeddings = nil
+		out.Error = "all shards failed"
+		return out, http.StatusBadGateway
+	}
+	if len(out.ShardsFailed) > 0 {
+		rt.partials.Add(1)
+		out.Partial = true
+	}
+
+	// Global pagination, best-effort: apply the caller's offset/limit to
+	// the concatenated embeddings (shards were asked for offset+limit
+	// each, so the page is full whenever the data allows).
+	if !wire.CountOnly {
+		if wire.Offset > 0 {
+			if wire.Offset >= int64(len(out.Embeddings)) {
+				out.Embeddings = nil
+			} else {
+				out.Embeddings = out.Embeddings[wire.Offset:]
+			}
+		}
+		limit := wire.Limit
+		if limit <= 0 || limit > rt.opts.MaxLimit {
+			limit = rt.opts.MaxLimit
+		}
+		if int64(len(out.Embeddings)) > limit {
+			out.Embeddings = out.Embeddings[:limit]
+		}
+	}
+	return out, http.StatusOK
+}
+
+// finish records the routed query: close the routing span, pull the
+// shards' span trees over /tracez and stitch them under the scatter
+// children, then hand the record to the flight recorder and telemetry.
+func (rt *Router) finish(tc obs.TraceContext, span *obs.Span, q *graph.Graph,
+	resp *RouteResponse, status int, start time.Time, results []shardResult) {
+
+	rec := obs.QueryRecord{
+		TraceID:       tc.TraceID.String(),
+		Time:          start,
+		QueryVertices: q.NumVertices(),
+		Outcome:       status,
+		TotalUS:       time.Since(start).Microseconds(),
+		Sampled:       span != nil,
+		QueryHash:     resp.QueryHash,
+		CacheHit:      resp.CacheHit,
+		Partial:       resp.Partial,
+		Embeddings:    resp.Count,
+		BuildUS:       int64(resp.BuildMS * 1000),
+		EnumUS:        int64(resp.EnumMS * 1000),
+	}
+	if span != nil {
+		span.Annotate(obs.Int("outcome", int64(status)),
+			obs.Int("shards_ok", int64(resp.ShardsOK)))
+		span.End()
+		nodes := rt.opts.Tracer.Take(tc.TraceID)
+		nodes = append(nodes, rt.fetchShardSpans(results)...)
+		rec.Spans = obs.Stitch(nodes)
+	}
+	rt.flight.Record(rec)
+	if h := rt.opts.Telemetry; h != nil {
+		slim := rec
+		slim.Spans = nil
+		h.ObserveQuery(slim)
+	}
+}
+
+// fetchShardSpans pulls each answering shard's span log (the flat
+// JSONL form) so the gathered trees re-root under this trace's scatter
+// spans. The shard's flight record exists by the time its HTTP response
+// was written, so a prompt fetch is safe; a shard that cannot answer
+// simply contributes no subtree.
+func (rt *Router) fetchShardSpans(results []shardResult) []*obs.SpanNode {
+	var nodes []*obs.SpanNode
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, res := range results {
+		if !res.usable() || res.replica == nil || res.resp.TraceID == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(res shardResult) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.HealthTimeout)
+			defer cancel()
+			b, err := res.replica.client.TracezJSONL(ctx, res.resp.TraceID)
+			if err != nil {
+				return
+			}
+			sub, err := obs.ReadSpanJSONL(bytes.NewReader(b))
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			nodes = append(nodes, sub...)
+			mu.Unlock()
+		}(res)
+	}
+	wg.Wait()
+	return nodes
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := rt.Ready()
+	status := http.StatusOK
+	if r.URL.Query().Get("ready") == "1" && !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, RouterHealth{
+		Status: "ok",
+		Ready:  ready,
+		Shards: len(rt.shards),
+		Radius: rt.opts.Radius,
+		Policy: rt.opts.Policy.Name(),
+		Build:  buildinfo.Get(),
+	})
+}
+
+func (rt *Router) handleShardz(w http.ResponseWriter, _ *http.Request) {
+	out := ShardzResponse{Policy: rt.opts.Policy.Name(), Radius: rt.opts.Radius}
+	for _, reps := range rt.shards {
+		var row []ShardzReplica
+		for _, rep := range reps {
+			lastErr, _ := rep.lastErr.Load().(string)
+			row = append(row, ShardzReplica{
+				URL:      rep.URL,
+				Healthy:  rep.Healthy(),
+				Checked:  rep.Checked(),
+				Inflight: rep.Inflight(),
+				Fails:    rep.fails.Load(),
+				LastErr:  lastErr,
+			})
+		}
+		out.Shards = append(out.Shards, row)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleQueryz(w http.ResponseWriter, r *http.Request) {
+	recent := rt.flight.Recent()
+	slowest := rt.flight.Slowest()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, obs.RecordsText(recent, slowest))
+		return
+	}
+	writeJSON(w, http.StatusOK, service.QueryzResponse{
+		Total:   rt.flight.Total(),
+		Recent:  recent,
+		Slowest: slowest,
+	})
+}
+
+func (rt *Router) handleTracez(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("traceID")
+	rec, ok := rt.flight.Find(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "trace " + id + " not found (evicted, or never routed here)"})
+		return
+	}
+	if len(rec.Spans) == 0 {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "trace " + id + " was not sampled: no spans recorded"})
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		obs.WriteSpanJSONL(w, rec.Spans)
+		return
+	}
+	doc, err := obs.ChromeTrace(rec.Spans)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+func (rt *Router) handleStatz(w http.ResponseWriter, r *http.Request) {
+	h := rt.opts.Telemetry
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, h.StatzText())
+		return
+	}
+	b, err := h.StatzJSON()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,426 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	ceciroot "ceci"
+	"ceci/internal/auto"
+	"ceci/internal/gen"
+	"ceci/internal/graph"
+	"ceci/internal/obs"
+	"ceci/internal/order"
+	"ceci/internal/service"
+	"ceci/internal/verify"
+)
+
+// shardEngine builds a shard-mode service engine for one partition.
+func shardEngine(p *Partition, opts service.Options) *service.Engine {
+	if opts.MaxLimit == 0 {
+		opts.MaxLimit = 1 << 20
+	}
+	opts.Shard = &service.ShardConfig{
+		ID:          p.ID,
+		Shards:      p.Shards,
+		Radius:      p.Radius,
+		Globals:     p.Globals,
+		OwnedLocals: p.OwnedLocals,
+	}
+	return service.New(p.Graph, opts)
+}
+
+// startFleet partitions data and serves each shard over httptest,
+// returning a started router in front of the fleet.
+func startFleet(t *testing.T, data *graph.Graph, shards, radius int,
+	sopts service.Options, ropts RouterOptions) (*Router, *httptest.Server) {
+	t.Helper()
+	parts, err := Split(data, PartitionOptions{Shards: shards, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([][]string, len(parts))
+	for i, p := range parts {
+		o := sopts
+		// Each shard needs its own tracer: shards are separate processes
+		// in production, and Tracer.Take is destructive per trace id.
+		if o.TraceSample > 0 {
+			o.Tracer = obs.NewTracer(obs.TracerOptions{})
+		}
+		srv := httptest.NewServer(shardEngine(p, o).Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = []string{srv.URL}
+	}
+	ropts.Shards = urls
+	ropts.Radius = radius
+	if ropts.MaxLimit == 0 {
+		ropts.MaxLimit = 1 << 20
+	}
+	rt, err := NewRouter(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+	return rt, rsrv
+}
+
+// wireText renders a query graph as the .lg wire form.
+func wireText(t *testing.T, q *graph.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteLabeled(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// postRoute posts a query to the router and decodes the RouteResponse.
+func postRoute(t *testing.T, url string, wire service.QueryRequest) (*RouteResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	out := &RouteResponse{}
+	if err := json.NewDecoder(hresp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return out, hresp.StatusCode
+}
+
+// TestRouterDifferentialVsSingleNode is the sharding oracle: for seeded
+// (data, query) pairs and fleet sizes 2, 3, and 5, the router's merged
+// count — and the canonical embedding set — must equal a cold
+// single-node build. This is the claim the whole partitioning contract
+// exists to uphold.
+func TestRouterDifferentialVsSingleNode(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		data, query := gen.RandomPair(seed)
+		_, ecc := order.Anchor(query)
+		radius := ecc
+		if radius < 1 {
+			radius = 1
+		}
+
+		m, err := ceciroot.Match(data, query, &ceciroot.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: cold match: %v", seed, err)
+		}
+		wantEmbs := m.Collect()
+		want := verify.CanonicalSet(wantEmbs, auto.Compute(query))
+
+		for _, shards := range []int{2, 3, 5} {
+			if shards > data.NumVertices() {
+				continue
+			}
+			_, rsrv := startFleet(t, data, shards, radius, service.Options{}, RouterOptions{})
+			cl := service.NewClient(rsrv.URL, nil)
+			resp, err := cl.Query(context.Background(), service.QueryRequest{
+				Query: wireText(t, query),
+				Limit: 1 << 20,
+			})
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			if resp.Partial {
+				t.Fatalf("seed %d shards %d: unexpected partial result", seed, shards)
+			}
+			if resp.Count != int64(len(wantEmbs)) {
+				t.Fatalf("seed %d shards %d: count %d, single-node found %d",
+					seed, shards, resp.Count, len(wantEmbs))
+			}
+			got := verify.CanonicalSet(resp.Embeddings, auto.Compute(query))
+			if len(got) != len(want) {
+				t.Fatalf("seed %d shards %d: %d embeddings, want %d", seed, shards, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d shards %d: embedding sets diverge at %d: %q vs %q",
+						seed, shards, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRouterRejectsOverRadiusQuery: a query whose anchor eccentricity
+// exceeds the fleet's halo radius is refused with 400 at the router —
+// scattering it could silently miss embeddings.
+func TestRouterRejectsOverRadiusQuery(t *testing.T) {
+	data := gen.WithRandomLabels(gen.ErdosRenyi(60, 240, 3), 2, 5)
+	_, rsrv := startFleet(t, data, 2, 1, service.Options{}, RouterOptions{})
+	// A 5-path has anchor eccentricity 2 > radius 1.
+	wire := service.QueryRequest{Labels: []uint32{0, 0, 0, 0, 0},
+		Edges: [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	resp, status := postRoute(t, rsrv.URL, wire)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (resp %+v)", status, resp)
+	}
+}
+
+// TestRouterTraceStitching: one sampled query's /tracez document on the
+// router must contain the full fleet tree — route-query at the root,
+// one scatter child per shard, each adopting that shard's
+// service-query subtree fetched at gather time.
+func TestRouterTraceStitching(t *testing.T) {
+	data, query := gen.RandomPair(7)
+	_, ecc := order.Anchor(query)
+	_, rsrv := startFleet(t, data, 2, ecc,
+		service.Options{TraceSample: 1},
+		RouterOptions{Tracer: obs.NewTracer(obs.TracerOptions{}), TraceSample: 1})
+
+	cl := service.NewClient(rsrv.URL, nil)
+	resp, err := cl.Query(context.Background(), service.QueryRequest{Query: wireText(t, query), CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("sampled query returned no trace id")
+	}
+
+	b, err := cl.TracezJSONL(context.Background(), resp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := obs.ReadSpanJSONL(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0].Name != "route-query" {
+		t.Fatalf("want a single route-query root, got %d roots", len(roots))
+	}
+	scatters := 0
+	stitched := 0
+	for _, c := range roots[0].Children {
+		if c.Name != "scatter" {
+			continue
+		}
+		scatters++
+		for _, g := range c.Children {
+			if g.Name == "service-query" {
+				stitched++
+			}
+		}
+	}
+	if scatters != 2 {
+		t.Fatalf("found %d scatter spans, want 2", scatters)
+	}
+	if stitched != 2 {
+		t.Fatalf("%d of 2 scatter spans adopted a shard service-query subtree", stitched)
+	}
+}
+
+// stubShard is a fake shard server for routing-behavior tests: answers
+// readiness, records hits and the propagated deadline, and can stall.
+type stubShard struct {
+	hits        atomic.Int64
+	lastTimeout atomic.Int64
+	delay       time.Duration
+	resp        service.QueryResponse
+}
+
+func (s *stubShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": true})
+	case "/query":
+		s.hits.Add(1)
+		var wire service.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			writeJSON(w, http.StatusBadRequest, service.QueryResponse{Error: err.Error()})
+			return
+		}
+		s.lastTimeout.Store(wire.TimeoutMS)
+		if s.delay > 0 {
+			select {
+			case <-time.After(s.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, s.resp)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// stubRouter builds a router over stub replicas for one shard.
+func stubRouter(t *testing.T, stubs []*stubShard, ropts RouterOptions) *httptest.Server {
+	t.Helper()
+	urls := make([]string, len(stubs))
+	for i, s := range stubs {
+		srv := httptest.NewServer(s)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	ropts.Shards = [][]string{urls}
+	if ropts.Radius == 0 {
+		ropts.Radius = 1
+	}
+	rt, err := NewRouter(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+	return rsrv
+}
+
+// edgeWire is the minimal routable query: a connected 2-path.
+func edgeWire() service.QueryRequest {
+	return service.QueryRequest{Labels: []uint32{0, 0}, Edges: [][2]uint32{{0, 1}}, CountOnly: true}
+}
+
+// TestRoundRobinSpreadsPrimaries: with three replicas and six queries,
+// the rotation must land two primaries on each.
+func TestRoundRobinSpreadsPrimaries(t *testing.T) {
+	stubs := []*stubShard{{resp: service.QueryResponse{Count: 1}}, {resp: service.QueryResponse{Count: 1}}, {resp: service.QueryResponse{Count: 1}}}
+	rsrv := stubRouter(t, stubs, RouterOptions{Policy: NewRoundRobin()})
+	for i := 0; i < 6; i++ {
+		resp, status := postRoute(t, rsrv.URL, edgeWire())
+		if status != http.StatusOK || resp.Count != 1 {
+			t.Fatalf("query %d: status %d count %d", i, status, resp.Count)
+		}
+	}
+	for i, s := range stubs {
+		if got := s.hits.Load(); got != 2 {
+			t.Errorf("replica %d served %d queries, want 2", i, got)
+		}
+	}
+}
+
+// TestBroadcastQueriesEveryReplica: the broadcast policy launches every
+// replica at once and merges the first usable answer.
+func TestBroadcastQueriesEveryReplica(t *testing.T) {
+	stubs := []*stubShard{
+		{resp: service.QueryResponse{Count: 7}, delay: 30 * time.Millisecond},
+		{resp: service.QueryResponse{Count: 7}, delay: 30 * time.Millisecond},
+		{resp: service.QueryResponse{Count: 7}, delay: 30 * time.Millisecond},
+	}
+	rsrv := stubRouter(t, stubs, RouterOptions{Policy: Broadcast{}})
+	resp, status := postRoute(t, rsrv.URL, edgeWire())
+	if status != http.StatusOK || resp.Count != 7 {
+		t.Fatalf("status %d count %d", status, resp.Count)
+	}
+	for i, s := range stubs {
+		if s.hits.Load() != 1 {
+			t.Errorf("replica %d saw %d requests, want 1 (broadcast)", i, s.hits.Load())
+		}
+	}
+}
+
+// TestHedgedRequestBeatsStraggler: when the primary stalls past the
+// hedge delay, the second replica answers and the response is flagged
+// hedged — well before the straggler would have finished.
+func TestHedgedRequestBeatsStraggler(t *testing.T) {
+	slow := &stubShard{resp: service.QueryResponse{Count: 3}, delay: 2 * time.Second}
+	fast := &stubShard{resp: service.QueryResponse{Count: 3}}
+	rsrv := stubRouter(t, []*stubShard{slow, fast}, RouterOptions{
+		Policy: NewRoundRobin(), // first query's primary is replica 0 (slow)
+		Hedge:  20 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, status := postRoute(t, rsrv.URL, edgeWire())
+	elapsed := time.Since(start)
+	if status != http.StatusOK || resp.Count != 3 {
+		t.Fatalf("status %d count %d", status, resp.Count)
+	}
+	if resp.Hedged != 1 {
+		t.Errorf("hedged = %d, want 1", resp.Hedged)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("hedged response took %v; should beat the 2s straggler", elapsed)
+	}
+	if fast.hits.Load() != 1 {
+		t.Errorf("hedge replica saw %d requests, want 1", fast.hits.Load())
+	}
+}
+
+// TestDeadlinePropagation: the per-shard sub-request's timeout must be
+// the caller's budget minus the router's merge margin, never more.
+func TestDeadlinePropagation(t *testing.T) {
+	stub := &stubShard{resp: service.QueryResponse{Count: 0}}
+	rsrv := stubRouter(t, []*stubShard{stub}, RouterOptions{DeadlineMargin: 100 * time.Millisecond})
+	wire := edgeWire()
+	wire.TimeoutMS = 1000
+	if _, status := postRoute(t, rsrv.URL, wire); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	got := stub.lastTimeout.Load()
+	if got <= 0 || got > 900 {
+		t.Fatalf("shard saw timeout_ms %d, want in (0, 900]", got)
+	}
+}
+
+// TestRoundRobinPickRotation exercises the policy directly: rotation
+// per shard, independent counters across shards.
+func TestRoundRobinPickRotation(t *testing.T) {
+	reps := []*Replica{{URL: "a"}, {URL: "b"}, {URL: "c"}}
+	p := NewRoundRobin()
+	wantFirst := []string{"a", "b", "c", "a"}
+	for round, want := range wantFirst {
+		ordered, parallel := p.Pick(0, reps)
+		if parallel {
+			t.Fatal("round-robin must not be parallel")
+		}
+		if len(ordered) != 3 || ordered[0].URL != want {
+			t.Fatalf("round %d: primary %s, want %s", round, ordered[0].URL, want)
+		}
+	}
+	// A different shard's rotation is independent.
+	ordered, _ := p.Pick(1, reps)
+	if ordered[0].URL != "a" {
+		t.Fatalf("shard 1 first pick = %s, want a", ordered[0].URL)
+	}
+}
+
+// TestLeastLoadedOrdersByInflight: fewest outstanding requests first.
+func TestLeastLoadedOrdersByInflight(t *testing.T) {
+	a := &Replica{URL: "a"}
+	b := &Replica{URL: "b"}
+	c := &Replica{URL: "c"}
+	a.inflight.Store(5)
+	b.inflight.Store(1)
+	c.inflight.Store(3)
+	ordered, parallel := LeastLoaded{}.Pick(0, []*Replica{a, b, c})
+	if parallel {
+		t.Fatal("least-loaded must not be parallel")
+	}
+	want := []string{"b", "c", "a"}
+	for i, w := range want {
+		if ordered[i].URL != w {
+			t.Fatalf("order[%d] = %s, want %s", i, ordered[i].URL, w)
+		}
+	}
+}
+
+// TestParsePolicy: names map to implementations; junk is an error.
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"broadcast": "broadcast", "round-robin": "round-robin",
+		"": "round-robin", "least-loaded": "least-loaded",
+	} {
+		p, err := ParsePolicy(name)
+		if err != nil || p.Name() != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
